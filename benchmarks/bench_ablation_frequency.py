@@ -1,0 +1,59 @@
+"""Section 3.3.1 ablation: rebalancing frequency.
+
+The paper argues DynMo's overhead is low enough to invoke every
+iteration.  This bench sweeps the invocation cadence on the
+sparse-attention scenario (per-iteration dynamism): too-rare
+rebalancing leaves bubbles; per-iteration rebalancing pays a small
+overhead but wins overall.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import DynMoConfig, DynMoController
+from repro.experiments import ascii_table
+from repro.experiments.common import build_scenario
+from repro.training import Trainer, TrainingConfig
+
+
+def _run():
+    setup = build_scenario(
+        "sparse_attention", num_layers=24, pp_stages=8, dp_ways=1, iterations=100
+    )
+    rows = []
+    for every in (1, 5, 25, 10**9):
+        cfg = TrainingConfig(
+            iterations=100,
+            seq_len=setup.cfg.seq_len,
+            pp_stages=8,
+            dp_ways=1,
+            record_every=10,
+        )
+        controller = None
+        if every < 10**9:
+            controller = DynMoController(
+                setup.cost,
+                setup.comm,
+                DynMoConfig(balancer="partition", rebalance_every=every),
+            )
+        res = Trainer(
+            cfg, setup.cost, setup.scheme_factory(), comm=setup.comm, controller=controller
+        ).run()
+        rows.append(
+            {
+                "rebalance_every": every if every < 10**9 else "never",
+                "tokens_per_s": res.tokens_per_s,
+                "bubble": res.mean_bubble_ratio,
+                "overhead_pct": 100 * res.overhead_fraction,
+            }
+        )
+    return rows
+
+
+def test_rebalance_frequency(once):
+    rows = once(_run)
+    print()
+    print(ascii_table(rows, title="Ablation — rebalance cadence (sparse attention)"))
+    never = rows[-1]
+    every1 = rows[0]
+    assert every1["tokens_per_s"] > never["tokens_per_s"]
+    assert every1["overhead_pct"] < 15.0

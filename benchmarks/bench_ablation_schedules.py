@@ -1,0 +1,48 @@
+"""Schedule ablation: GPipe vs 1F1B vs zero-bubble under dynamism.
+
+Fig. 1 uses the "almost zero-bubble" schedule so residual idleness is
+attributable to dynamism.  This ablation quantifies that choice: the
+zb schedule strictly dominates 1F1B which dominates GPipe, and the
+*dynamic* bubble (excess over the static dense control) is similar
+across schedules — i.e. the schedule removes static bubbles, DynMo
+removes dynamic ones.
+"""
+
+from __future__ import annotations
+
+from repro.dynamics.base import StaticScheme
+from repro.experiments import ascii_table
+from repro.experiments.common import build_scenario, run_training
+
+
+def _run():
+    rows = []
+    setup = build_scenario("early_exit", num_layers=24, pp_stages=8, dp_ways=1, iterations=80)
+    for sched in ("gpipe", "1f1b", "zb"):
+        dyn = run_training(setup, mode="megatron", schedule=sched)
+        static = run_training(
+            setup, mode="megatron", schedule=sched, scheme=StaticScheme(setup.specs)
+        )
+        rows.append(
+            {
+                "schedule": sched,
+                "static_bubble": static.mean_bubble_ratio,
+                "dynamic_bubble": dyn.mean_bubble_ratio,
+                "excess_bubble": dyn.mean_bubble_ratio - static.mean_bubble_ratio,
+                "dynamic_tps": dyn.tokens_per_s,
+            }
+        )
+    return rows
+
+
+def test_schedule_ablation(once):
+    rows = once(_run)
+    print()
+    print(ascii_table(rows, title="Ablation — pipeline schedules (early exit)"))
+    by = {r["schedule"]: r for r in rows}
+    # zb has the smallest static bubble; gpipe the largest
+    assert by["zb"]["static_bubble"] <= by["1f1b"]["static_bubble"] + 1e-9
+    assert by["1f1b"]["static_bubble"] <= by["gpipe"]["static_bubble"] + 1e-9
+    # dynamism-induced excess is present for every schedule
+    for row in rows:
+        assert row["excess_bubble"] > 0.0

@@ -1,0 +1,27 @@
+"""Figure 3 (early exit panel).
+
+Paper: 3.07x/2.70x/2.39x/4.83x over the no-exit baseline at
+24/32/40/48 layers; early exit benefits the most from balancing since
+late layers starve.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ascii_table, run_figure3_scenario
+
+
+def _run():
+    return [
+        run_figure3_scenario(
+            "early_exit", num_layers=layers, pp_stages=8, dp_ways=1, iterations=150
+        )
+        for layers in (24, 48)
+    ]
+
+
+def test_fig3_early_exit(once):
+    rows = once(_run)
+    print()
+    print(ascii_table(rows, title="Figure 3 — Early exit (tokens/sec)"))
+    for row in rows:
+        assert row["speedup"] > 1.3, f"{row['layers']}L: {row['speedup']}"

@@ -1,0 +1,28 @@
+"""Figure 3 (layer freezing panel).
+
+Paper: DynMo 1.36x/1.48x/1.58x/1.69x over Egeria at 24/32/40/48
+layers — speedup grows with depth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ascii_table, run_figure3_scenario
+
+
+def _run():
+    return [
+        run_figure3_scenario(
+            "freezing", num_layers=layers, pp_stages=8, dp_ways=1, iterations=150
+        )
+        for layers in (24, 32, 40, 48)
+    ]
+
+
+def test_fig3_freezing(once):
+    rows = once(_run)
+    print()
+    print(ascii_table(rows, title="Figure 3 — Layer freezing (tokens/sec)"))
+    for row in rows:
+        assert row["speedup"] > 1.1, f"{row['layers']}L: {row['speedup']}"
+    # deeper models benefit at least as much (paper: monotone increase)
+    assert rows[-1]["speedup"] > rows[0]["speedup"] * 0.9

@@ -1,0 +1,30 @@
+"""Figure 3 (Mixture-of-Depths panel).
+
+Paper: 1.16–1.17x over static Megatron-LM/DeepSpeed.  MoD is the
+hardest case for layer-granular balancing (alternating full/routed
+blocks leave little contiguous freedom), so the margin is the smallest
+of the six scenarios — here as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ascii_table, run_figure3_scenario
+
+
+def _run():
+    return [
+        run_figure3_scenario(
+            "mod", num_layers=layers, pp_stages=8, dp_ways=1, iterations=100
+        )
+        for layers in (32, 48)
+    ]
+
+
+def test_fig3_mod(once):
+    rows = once(_run)
+    print()
+    print(ascii_table(rows, title="Figure 3 — Mixture of Depths (tokens/sec)"))
+    for row in rows:
+        assert row["speedup"] > 1.0, f"{row['layers']}L: {row['speedup']}"
+        best = max(row["dynmo-partition"], row["dynmo-diffusion"])
+        assert best > row["megatron"]

@@ -1,0 +1,29 @@
+"""Figure 3 (dynamic sparse attention panel).
+
+Paper: 2.71x/3.90x/4.02x/3.73x over the dense-attention baseline at
+24/32/40/48 layers (long-sequence workload, quadratic term dominant).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ascii_table, run_figure3_scenario
+
+
+def _run():
+    return [
+        run_figure3_scenario(
+            "sparse_attention", num_layers=layers, pp_stages=8, dp_ways=1, iterations=80
+        )
+        for layers in (24, 48)
+    ]
+
+
+def test_fig3_sparse_attention(once):
+    rows = once(_run)
+    print()
+    print(ascii_table(rows, title="Figure 3 — Dynamic sparse attention (tokens/sec)"))
+    for row in rows:
+        assert row["speedup"] > 1.2, f"{row['layers']}L: {row['speedup']}"
+        # DynMo-balanced sparse model beats the dense baseline clearly
+        best = max(row["dynmo-partition"], row["dynmo-diffusion"])
+        assert best > row["dense-baseline"] * 1.2

@@ -1,0 +1,46 @@
+"""Figure 4 (left/centre): re-packing the model onto fewer GPUs.
+
+Paper: as gradual pruning / freezing / early exit shrink the model,
+re-packing to 6/4/2 GPUs keeps throughput comparable while
+throughput-per-GPU (the cost proxy) rises; pruning sustains an
+average of ~5.8 GPUs instead of 8 over the run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ascii_table, run_figure4_repacking
+
+
+def _run(scenario):
+    return run_figure4_repacking(
+        scenario, num_layers=24, iterations=200, gpu_counts=(8, 6, 4, 2)
+    )
+
+
+def test_fig4_repack_pruning(once):
+    rows = once(_run, "pruning")
+    print()
+    print(ascii_table(rows, title="Figure 4 — Re-packing (gradual pruning)"))
+    full = rows[0]
+    packed = [r for r in rows[1:] if not r["oom"]]
+    assert packed, "some packed configuration must fit"
+    for r in packed:
+        # throughput/GPU must beat the 8-GPU baseline (the point of Fig. 4)
+        assert r["tps_per_gpu"] > full["tps_per_gpu"] * 0.9, r
+        assert r["avg_gpus"] <= 8.0
+    # at least one packed configuration strictly improves per-GPU efficiency
+    assert max(r["tps_per_gpu"] for r in packed) > full["tps_per_gpu"]
+
+
+def test_fig4_repack_freezing(once):
+    rows = once(_run, "freezing")
+    print()
+    print(ascii_table(rows, title="Figure 4 — Re-packing (layer freezing)"))
+    assert any(not r["oom"] for r in rows[1:])
+
+
+def test_fig4_repack_early_exit(once):
+    rows = once(_run, "early_exit")
+    print()
+    print(ascii_table(rows, title="Figure 4 — Re-packing (early exit)"))
+    assert any(not r["oom"] for r in rows[1:])

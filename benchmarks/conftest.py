@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's figures/tables at a
+scaled-down size (8-stage pipelines, a few hundred iterations) and
+prints the reproduced rows.  Run with ``-s`` to see the tables:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one timed execution (experiments
+    are deterministic and expensive; statistical rounds add nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,1 @@
+from setuptools import setup; setup()

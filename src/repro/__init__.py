@@ -1,0 +1,45 @@
+"""repro — reproduction of DynMo (SC'25): balanced and elastic
+end-to-end training of dynamic LLMs.
+
+Top-level convenience re-exports; see subpackages for the full API:
+
+- ``repro.core``      — DynMo balancers, re-packing, controller
+- ``repro.dynamics``  — the six dynamic-model schemes
+- ``repro.pipeline``  — pipeline plans, schedules, event simulator
+- ``repro.cluster``   — topology, collectives, SimComm, job manager
+- ``repro.model``     — GPT configs + per-layer cost model
+- ``repro.nn``        — numpy transformer substrate
+- ``repro.sparse``    — CSR/SpMM substrate
+- ``repro.training``  — end-to-end Trainer
+- ``repro.baselines`` — Megatron/DeepSpeed/Tutel/Egeria/PipeTransformer
+- ``repro.experiments`` — figure/table drivers
+"""
+
+from repro.core import (
+    DynMoConfig,
+    DynMoController,
+    DiffusionBalancer,
+    PartitionBalancer,
+    first_fit_repack,
+)
+from repro.model import GPTConfig, ModelCost, build_layer_specs
+from repro.pipeline import PipelineEngine, PipelinePlan
+from repro.training import Trainer, TrainingConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynMoConfig",
+    "DynMoController",
+    "DiffusionBalancer",
+    "PartitionBalancer",
+    "first_fit_repack",
+    "GPTConfig",
+    "ModelCost",
+    "build_layer_specs",
+    "PipelineEngine",
+    "PipelinePlan",
+    "Trainer",
+    "TrainingConfig",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""DeepSpeed PipelineModule partitioning strategies (static).
+
+``partition_method`` ∈ {"uniform", "parameters", "regex:<pattern>"}:
+
+- uniform: equal layer counts;
+- parameters: balance parameter counts (DeepSpeed's
+  ``partition_balanced`` — same algorithm DynMo's Partition balancer
+  reuses, but applied once with *initial* parameter counts and never
+  refreshed);
+- regex: only layers whose name matches count toward the balance
+  (e.g. ``regex:block`` balances transformer blocks, giving zero
+  weight to embedding/head).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.core.balancers.partition import partition_balanced
+from repro.model.cost import LayerSpec
+from repro.pipeline.plan import PipelinePlan
+
+
+def deepspeed_plan(
+    specs: list[LayerSpec], num_stages: int, partition_method: str = "parameters"
+) -> PipelinePlan:
+    n = len(specs)
+    if partition_method == "uniform":
+        return PipelinePlan.uniform(n, num_stages)
+    if partition_method == "parameters":
+        weights = np.array([sp.param_count for sp in specs], dtype=float)
+        return partition_balanced(weights, num_stages)
+    if partition_method.startswith("regex:"):
+        pattern = re.compile(partition_method[len("regex:") :])
+        weights = np.array(
+            [sp.param_count if pattern.search(sp.name) else 0.0 for sp in specs]
+        )
+        if weights.sum() == 0:
+            raise ValueError(f"regex {pattern.pattern!r} matched no layers")
+        return partition_balanced(weights, num_stages)
+    raise ValueError(f"unknown partition_method {partition_method!r}")

@@ -1,0 +1,30 @@
+"""Megatron-LM static partitioning.
+
+Megatron assigns an equal number of *transformer layers* to each
+stage, with the embedding pinned to the first stage and the LM head to
+the last — set once at startup, never changed (Narayanan et al.).
+"""
+
+from __future__ import annotations
+
+from repro.model.cost import LayerSpec
+from repro.pipeline.plan import PipelinePlan
+
+
+def megatron_uniform_plan(specs: list[LayerSpec], num_stages: int) -> PipelinePlan:
+    blocks = [i for i, sp in enumerate(specs) if sp.kind == "block"]
+    if not blocks:
+        raise ValueError("no transformer blocks in specs")
+    if not 1 <= num_stages <= len(blocks):
+        raise ValueError(
+            f"num_stages must be in [1, {len(blocks)}], got {num_stages}"
+        )
+    n = len(specs)
+    base, rem = divmod(len(blocks), num_stages)
+    bounds = [0]
+    cursor = blocks[0]  # embedding rides with the first block stage
+    for s in range(num_stages):
+        cursor += base + (1 if s < rem else 0)
+        bounds.append(cursor)
+    bounds[-1] = n  # head rides with the last stage
+    return PipelinePlan(tuple(bounds), n)

@@ -1,0 +1,42 @@
+"""PipeTransformer-style re-packing (related work, section 6.2).
+
+PipeTransformer can only *halve* the pipeline (divide GPU count by 2)
+when layers freeze, and estimates memory from parameter counts instead
+of measured usage.  DynMo re-packs to an arbitrary worker count using
+profiled memory.  This baseline exists for the ablation comparing the
+two policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.plan import PipelinePlan
+
+
+def pipetransformer_repack(
+    plan: PipelinePlan,
+    param_counts: np.ndarray,
+    bytes_per_param: float,
+    max_mem: float,
+) -> PipelinePlan:
+    """Halve the stage count if the param-count memory proxy fits.
+
+    Repeats halving while feasible (powers of two), mirroring
+    PipeTransformer's freeze-notification handler.
+    """
+    if bytes_per_param <= 0 or max_mem <= 0:
+        raise ValueError("bytes_per_param and max_mem must be positive")
+    w = np.asarray(param_counts, dtype=float)
+    if w.shape[0] != plan.num_layers:
+        raise ValueError("one param count per layer required")
+    cur = plan
+    while cur.num_stages % 2 == 0 and cur.num_stages >= 2:
+        half = cur.num_stages // 2
+        cand = PipelinePlan.uniform(cur.num_layers, half)
+        est = cand.stage_loads(w) * bytes_per_param
+        if (est <= max_mem).all():
+            cur = cand
+        else:
+            break
+    return cur

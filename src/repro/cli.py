@@ -1,0 +1,170 @@
+"""Command-line interface for the reproduction experiments.
+
+    python -m repro.cli fig1 --layers 24
+    python -m repro.cli fig3 --scenario pruning --layers 24 48
+    python -m repro.cli fig4 --scenario pruning
+    python -m repro.cli overhead
+    python -m repro.cli gantt --scenario early_exit --balanced
+
+Every sub-command prints the reproduced table; ``--paper-scale``
+switches to the paper's full 16/24-stage pipelines (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    SCENARIOS,
+    ascii_table,
+    run_figure1,
+    run_figure3_scenario,
+    run_figure4_repacking,
+    run_overhead_table,
+)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--layers", type=int, nargs="+", default=[24])
+    p.add_argument("--stages", type=int, default=8)
+    p.add_argument("--dp", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=150)
+
+
+def cmd_fig1(args) -> int:
+    rows = run_figure1(
+        scenarios=args.scenario,
+        num_layers=args.layers[0],
+        iterations=args.iterations,
+        pp_stages=args.stages,
+    )
+    print(ascii_table(rows, title="Figure 1 — GPU idleness by dynamism type"))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    rows = []
+    for scenario in args.scenario:
+        for layers in args.layers:
+            rows.append(
+                run_figure3_scenario(
+                    scenario,
+                    num_layers=layers,
+                    pp_stages=args.stages,
+                    dp_ways=args.dp,
+                    iterations=args.iterations,
+                )
+            )
+    print(ascii_table(rows, title="Figure 3 — end-to-end throughput (tokens/sec)"))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    for scenario in args.scenario:
+        rows = run_figure4_repacking(
+            scenario,
+            num_layers=args.layers[0],
+            iterations=args.iterations,
+            gpu_counts=tuple(args.gpus),
+        )
+        print(ascii_table(rows, title=f"Figure 4 — re-packing ({scenario})"))
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    rows = run_overhead_table(
+        scenarios=tuple(args.scenario),
+        num_layers=args.layers[0],
+        iterations=args.iterations,
+    )
+    print(ascii_table(rows, title="Figure 4 — load-balancing overhead"))
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    from repro.baselines.megatron import megatron_uniform_plan
+    from repro.core import PartitionBalancer
+    from repro.core.profiler import PipelineProfiler
+    from repro.experiments.common import build_scenario
+    from repro.pipeline.engine import PipelineEngine
+    from repro.pipeline.visualize import bubble_summary, render_gantt
+
+    setup = build_scenario(
+        args.scenario[0],
+        num_layers=args.layers[0],
+        pp_stages=args.stages,
+        dp_ways=1,
+        iterations=10,
+    )
+    scheme = setup.scheme_factory()
+    states = scheme.initial_states()
+    scheme.step(0, states)
+    plan = megatron_uniform_plan(setup.specs, setup.pp_stages)
+    if args.balanced:
+        w = PipelineProfiler(setup.cost).profile(plan, states).weights("time")
+        plan = PartitionBalancer().rebalance(plan, w).plan
+    engine = PipelineEngine(
+        setup.cost,
+        setup.comm,
+        schedule=args.schedule,
+        num_micro=args.micro,
+        record_timeline=True,
+    )
+    res = engine.run_iteration(plan, states)
+    chart = render_gantt(res, width=args.width)
+    label = "balanced" if args.balanced else "static"
+    print(f"{args.scenario[0]} / {label} / {args.schedule}: "
+          f"makespan {res.makespan * 1e3:.2f} ms, bubble {res.bubble_ratio():.1%}")
+    print(chart)
+    print(ascii_table(bubble_summary(res), title="per-worker busy/idle"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DynMo reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("fig1", help="Figure 1: idleness by dynamism type")
+    _add_common(p1)
+    p1.add_argument("--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
+    p1.set_defaults(fn=cmd_fig1)
+
+    p3 = sub.add_parser("fig3", help="Figure 3: end-to-end throughput")
+    _add_common(p3)
+    p3.add_argument("--scenario", nargs="+", default=["pruning"], choices=SCENARIOS)
+    p3.set_defaults(fn=cmd_fig3)
+
+    p4 = sub.add_parser("fig4", help="Figure 4: re-packing sweep")
+    _add_common(p4)
+    p4.add_argument("--scenario", nargs="+", default=["pruning"], choices=SCENARIOS)
+    p4.add_argument("--gpus", type=int, nargs="+", default=[8, 6, 4, 2])
+    p4.set_defaults(fn=cmd_fig4)
+
+    po = sub.add_parser("overhead", help="Figure 4 right: balancing overhead")
+    _add_common(po)
+    po.add_argument(
+        "--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS
+    )
+    po.set_defaults(fn=cmd_overhead)
+
+    pg = sub.add_parser("gantt", help="render one iteration as ASCII Gantt")
+    _add_common(pg)
+    pg.add_argument("--scenario", nargs="+", default=["early_exit"], choices=SCENARIOS)
+    pg.add_argument("--balanced", action="store_true", help="apply DynMo first")
+    pg.add_argument("--schedule", default="zb", choices=["gpipe", "1f1b", "zb"])
+    pg.add_argument("--micro", type=int, default=8)
+    pg.add_argument("--width", type=int, default=96)
+    pg.set_defaults(fn=cmd_gantt)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

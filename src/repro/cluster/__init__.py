@@ -1,0 +1,35 @@
+"""Distributed-hardware substrate (simulated).
+
+Replaces the paper's 720×H100 testbed with analytic models:
+
+- :mod:`topology` — GPUs, nodes, intra-node (NVSwitch) and inter-node
+  (InfiniBand NDR200) links, with the paper's exact machine presets;
+- :mod:`collectives` — α–β cost models for P2P, gather/scatter,
+  all-reduce, all-to-all;
+- :mod:`memory` — per-GPU memory budget tracking (drives OOM cells in
+  Fig. 4 and re-packing feasibility);
+- :mod:`simcomm` — an in-process MPI-like rank simulator used to run
+  Algorithm 1 (distributed global pruning) with real dataflow;
+- :mod:`job_manager` — ECK-style elastic GPU request/release ledger.
+"""
+
+from repro.cluster.topology import GPUSpec, Link, Node, ClusterTopology, h100_node, h100_cluster
+from repro.cluster.collectives import CommCostModel
+from repro.cluster.memory import MemoryTracker, OutOfMemoryError
+from repro.cluster.simcomm import SimComm, SimWorld
+from repro.cluster.job_manager import ElasticJobManager
+
+__all__ = [
+    "GPUSpec",
+    "Link",
+    "Node",
+    "ClusterTopology",
+    "h100_node",
+    "h100_cluster",
+    "CommCostModel",
+    "MemoryTracker",
+    "OutOfMemoryError",
+    "SimComm",
+    "SimWorld",
+    "ElasticJobManager",
+]

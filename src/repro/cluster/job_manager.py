@@ -1,0 +1,81 @@
+"""ECK-style elastic job manager (GPU request/release ledger).
+
+Section 3.4.2: after re-packing, DynMo PATCHes the pod spec to shrink
+``resources.requests``/``limits``; ECK detects freed GPUs and hands
+them to pending jobs.  This module models that control plane: a ledger
+of GPU claims per job, release events with timestamps (iteration
+numbers), and aggregate GPU-hours accounting used by the
+throughput-per-GPU metric in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReleaseEvent:
+    iteration: int
+    job: str
+    num_gpus: int
+
+
+@dataclass
+class ElasticJobManager:
+    """Tracks GPU claims across jobs on a fixed-capacity cluster."""
+
+    total_gpus: int
+    claims: dict[str, int] = field(default_factory=dict)
+    events: list[ReleaseEvent] = field(default_factory=list)
+    _gpu_iterations: dict[str, float] = field(default_factory=dict)
+    _last_update_iter: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_gpus <= 0:
+            raise ValueError("total_gpus must be positive")
+
+    @property
+    def free_gpus(self) -> int:
+        return self.total_gpus - sum(self.claims.values())
+
+    def request(self, job: str, num_gpus: int, iteration: int = 0) -> None:
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if num_gpus > self.free_gpus:
+            raise RuntimeError(
+                f"cannot grant {num_gpus} GPUs; only {self.free_gpus} free"
+            )
+        self._accrue(job, iteration)
+        self.claims[job] = self.claims.get(job, 0) + num_gpus
+
+    def release(self, job: str, num_gpus: int, iteration: int) -> None:
+        """PATCH-equivalent: shrink a job's claim, freeing GPUs."""
+        held = self.claims.get(job, 0)
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if num_gpus > held:
+            raise ValueError(f"job {job} holds {held} GPUs, cannot release {num_gpus}")
+        self._accrue(job, iteration)
+        self.claims[job] = held - num_gpus
+        self.events.append(ReleaseEvent(iteration, job, num_gpus))
+
+    def _accrue(self, job: str, iteration: int) -> None:
+        last = self._last_update_iter.get(job, 0)
+        if iteration < last:
+            raise ValueError("iterations must be non-decreasing per job")
+        held = self.claims.get(job, 0)
+        self._gpu_iterations[job] = self._gpu_iterations.get(job, 0.0) + held * (
+            iteration - last
+        )
+        self._last_update_iter[job] = iteration
+
+    def gpu_iterations(self, job: str, now_iteration: int) -> float:
+        """Integral of (GPUs held) d(iteration) — GPU·iter consumed."""
+        self._accrue(job, now_iteration)
+        return self._gpu_iterations.get(job, 0.0)
+
+    def average_gpus(self, job: str, now_iteration: int) -> float:
+        """Average GPU count over [0, now] — the Fig. 4 bottom-row metric."""
+        if now_iteration <= 0:
+            return float(self.claims.get(job, 0))
+        return self.gpu_iterations(job, now_iteration) / now_iteration

@@ -1,0 +1,62 @@
+"""Per-GPU memory budget tracking.
+
+Drives two paper behaviours: the OOM cells in Fig. 4 (a model that
+does not fit on 2 GPUs) and the memory-capacity constraint in both the
+balancers and re-packing Algorithm 2 (``mem_usage[src] +
+mem_usage[dst] < MAX_MEM``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an assignment exceeds a GPU's memory budget."""
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks allocated bytes per worker against a fixed capacity."""
+
+    capacity_bytes: int
+    num_workers: int
+    usage: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if not self.usage:
+            self.usage = [0] * self.num_workers
+        elif len(self.usage) != self.num_workers:
+            raise ValueError("usage length mismatch")
+
+    def allocate(self, worker: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.usage[worker] + nbytes > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"worker {worker}: {self.usage[worker] + nbytes} > {self.capacity_bytes}"
+            )
+        self.usage[worker] += nbytes
+
+    def free(self, worker: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes > self.usage[worker]:
+            raise ValueError(f"freeing {nbytes} > allocated {self.usage[worker]}")
+        self.usage[worker] -= nbytes
+
+    def fits(self, worker: int, nbytes: int) -> bool:
+        return self.usage[worker] + nbytes <= self.capacity_bytes
+
+    def headroom(self, worker: int) -> int:
+        return self.capacity_bytes - self.usage[worker]
+
+    def utilization(self, worker: int) -> float:
+        return self.usage[worker] / self.capacity_bytes
+
+    def reset(self) -> None:
+        self.usage = [0] * self.num_workers

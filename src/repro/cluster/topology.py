@@ -1,0 +1,106 @@
+"""Cluster topology: GPUs, nodes, links, and paper-matching presets.
+
+Paper testbed (section 5): nodes with 2× EPYC 9654 and 4× H100 SXM5
+80GB; GPUs connected by NVSwitch (NVLink4 ×6 ≈ 900 GB/s), nodes by
+4× 200 Gbps InfiniBand NDR200 (≈100 GB/s aggregate).  Re-packing
+experiments use up to 8 GPUs per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static device capabilities."""
+
+    name: str = "H100-SXM5"
+    memory_bytes: int = 80 * 1024**3
+    peak_flops: float = 989e12  # bf16 dense w/ sparsity off
+    efficiency: float = 0.45  # achieved fraction in LLM training
+
+
+@dataclass(frozen=True)
+class Link:
+    """α–β link: time(bytes) = latency + bytes / bandwidth."""
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float
+
+    def time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+
+NVLINK4 = Link("nvlink4", latency_s=2e-6, bandwidth_Bps=900e9)
+IB_NDR200x4 = Link("ib-ndr200x4", latency_s=5e-6, bandwidth_Bps=100e9)
+PCIE_GEN5 = Link("pcie-gen5x16", latency_s=3e-6, bandwidth_Bps=63e9)
+
+
+@dataclass
+class Node:
+    node_id: int
+    gpus_per_node: int
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    intra_link: Link = NVLINK4
+
+
+@dataclass
+class ClusterTopology:
+    """A homogeneous multi-node GPU cluster."""
+
+    nodes: list[Node]
+    inter_link: Link = IB_NDR200x4
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.nodes[0].gpus_per_node
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(n.gpus_per_node for n in self.nodes)
+
+    @property
+    def gpu(self) -> GPUSpec:
+        return self.nodes[0].gpu
+
+    def node_of(self, rank: int) -> int:
+        """Map a global GPU rank to its node (ranks packed per node)."""
+        if not 0 <= rank < self.num_gpus:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_gpus})")
+        return rank // self.gpus_per_node
+
+    def link_between(self, rank_a: int, rank_b: int) -> Link:
+        """The link used by a P2P transfer between two GPU ranks."""
+        if rank_a == rank_b:
+            return Link("loopback", 0.0, float("inf"))
+        if self.node_of(rank_a) == self.node_of(rank_b):
+            return self.nodes[self.node_of(rank_a)].intra_link
+        return self.inter_link
+
+
+def h100_node(gpus: int = 4, node_id: int = 0) -> Node:
+    check_positive("gpus", gpus)
+    return Node(node_id=node_id, gpus_per_node=gpus)
+
+
+def h100_cluster(num_nodes: int = 90, gpus_per_node: int = 4) -> ClusterTopology:
+    """The paper's multi-node testbed (90 nodes × 4 H100 = 360; two
+    pipelines of 720 GPUs use 30-way DP × 24-way PP across them)."""
+    check_positive("num_nodes", num_nodes)
+    return ClusterTopology(
+        nodes=[h100_node(gpus_per_node, node_id=i) for i in range(num_nodes)]
+    )

@@ -1,0 +1,58 @@
+"""Hardware performance variability (paper §1, citing Sinha et al.).
+
+"Not all GPUs are created equal": identical SKUs differ by several
+percent (power/thermal binning), and throttling drifts over time.  The
+paper notes DynMo applies unchanged to this source of imbalance — the
+profiler measures layer times *on their current worker*, so slow
+workers simply look overloaded.
+
+:class:`GPUVariability` produces per-worker speed factors: a static
+binning component (lognormal around 1) plus a slowly drifting thermal
+component.  The pipeline engine divides each stage's compute by its
+worker's current speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+class GPUVariability:
+    """Per-worker speed process: speed_w(k) = bin_w * thermal_w(k)."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        binning_sigma: float = 0.05,
+        thermal_sigma: float = 0.01,
+        thermal_tether: float = 0.05,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if binning_sigma < 0 or thermal_sigma < 0:
+            raise ValueError("sigmas must be >= 0")
+        self.rng = new_rng(seed)
+        self.num_workers = num_workers
+        self.binning = np.exp(self.rng.normal(0.0, binning_sigma, size=num_workers))
+        self._thermal_log = np.zeros(num_workers)
+        self.thermal_sigma = thermal_sigma
+        self.thermal_tether = thermal_tether
+
+    def step(self) -> np.ndarray:
+        """Advance the thermal drift one iteration; return speeds."""
+        self._thermal_log += self.rng.normal(
+            0.0, self.thermal_sigma, size=self.num_workers
+        )
+        self._thermal_log *= 1.0 - self.thermal_tether
+        return self.speeds()
+
+    def speeds(self) -> np.ndarray:
+        return self.binning * np.exp(self._thermal_log)
+
+    def spread(self) -> float:
+        """max/min speed ratio — the imbalance a static plan eats."""
+        s = self.speeds()
+        return float(s.max() / s.min())

@@ -1,0 +1,85 @@
+"""Speed-aware partitioning for heterogeneous workers.
+
+With per-worker speed factors s_w, a stage's *time* is load/s_w, so
+min-max partitioning must weigh each stage by its worker's speed.  The
+DP generalises directly: dp[s][i] = min_j max(dp[s-1][j],
+(pre[i]-pre[j]) / speed_s).  Stage order is fixed (pipeline stage w
+runs on worker w), so this stays O(S n²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancers.base import BalanceResult, LoadBalancer
+from repro.pipeline.plan import PipelinePlan
+
+
+def dp_partition_hetero(
+    weights: np.ndarray, speeds: np.ndarray
+) -> PipelinePlan:
+    """Exact min-max *time* partition onto workers with given speeds."""
+    w = np.asarray(weights, dtype=float)
+    s = np.asarray(speeds, dtype=float)
+    n, S = w.shape[0], s.shape[0]
+    if S < 1 or S > n:
+        raise ValueError(f"need 1..{n} workers, got {S}")
+    if (s <= 0).any():
+        raise ValueError("speeds must be positive")
+    pre = np.concatenate([[0.0], np.cumsum(w)])
+    INF = float("inf")
+    dp = np.full((S + 1, n + 1), INF)
+    parent = np.zeros((S + 1, n + 1), dtype=int)
+    dp[0, 0] = 0.0
+    for stage in range(1, S + 1):
+        speed = s[stage - 1]
+        for i in range(stage, n + 1):
+            best, arg = INF, stage - 1
+            for j in range(stage - 1, i):
+                v = max(dp[stage - 1, j], (pre[i] - pre[j]) / speed)
+                if v < best:
+                    best, arg = v, j
+            dp[stage, i] = best
+            parent[stage, i] = arg
+    bounds = [n]
+    i = n
+    for stage in range(S, 0, -1):
+        i = int(parent[stage, i])
+        bounds.append(i)
+    bounds.reverse()
+    return PipelinePlan(tuple(bounds), n)
+
+
+class HeteroPartitionBalancer(LoadBalancer):
+    """Partition balancer that knows per-worker speeds."""
+
+    name = "hetero-partition"
+
+    def __init__(self, speeds: np.ndarray) -> None:
+        self.speeds = np.asarray(speeds, dtype=float)
+        if (self.speeds <= 0).any():
+            raise ValueError("speeds must be positive")
+
+    def stage_times(self, plan: PipelinePlan, w: np.ndarray) -> np.ndarray:
+        return plan.stage_loads(w) / self.speeds[: plan.num_stages]
+
+    def rebalance(
+        self,
+        plan: PipelinePlan,
+        weights: np.ndarray,
+        memory_per_layer: np.ndarray | None = None,
+        memory_capacity: float | None = None,
+    ) -> BalanceResult:
+        w = self._validate(plan, weights)
+        if self.speeds.shape[0] != plan.num_stages:
+            raise ValueError(
+                f"{self.speeds.shape[0]} speeds for {plan.num_stages} stages"
+            )
+        before = self.stage_times(plan, w)
+        new_plan = dp_partition_hetero(w, self.speeds)
+        if not self.plan_feasible(new_plan, memory_per_layer, memory_capacity):
+            new_plan = plan
+        after = self.stage_times(new_plan, w)
+        if after.max() > before.max():
+            new_plan, after = plan, before
+        return BalanceResult(new_plan, before, after)

@@ -1,0 +1,209 @@
+"""The DynMo controller: profile → balance → re-pack → migrate.
+
+DynMo operates as a black box (section 3.2): it is invoked at a fixed
+interval without knowing whether the model changed; the interval
+defaults to the dynamism scheme's recommendation (every iteration for
+MoE/sparse-attention/MoD, every few hundred/thousand for the rest).
+
+Overhead accounting mirrors the Fig. 4 table's three components:
+
+- *profiling* — one instrumented iteration's extra cost, modelled as a
+  fixed fraction of the iteration time;
+- *balancing algorithm* — the real wall-clock time of the Python
+  balancer (measured with a Timer; it is a genuine CPU computation);
+- *migration* — the simulated communication time of moving layers,
+  partially overlapped with back-propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.collectives import CommCostModel
+from repro.core.balancers import (
+    DiffusionBalancer,
+    DPExactBalancer,
+    LoadBalancer,
+    PartitionBalancer,
+)
+from repro.core.profiler import PipelineProfiler, ProfileReport
+from repro.core.repack import repack_plan, RepackResult
+from repro.model.cost import LayerState, ModelCost
+from repro.pipeline.migration import diff_plans
+from repro.pipeline.plan import PipelinePlan
+from repro.utils.timers import TimerSet
+
+
+@dataclass
+class OverheadBreakdown:
+    profile_s: float = 0.0
+    balance_s: float = 0.0
+    migrate_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.profile_s + self.balance_s + self.migrate_s
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "profile_s": self.profile_s,
+            "balance_s": self.balance_s,
+            "migrate_s": self.migrate_s,
+            "total_s": self.total_s,
+        }
+
+
+@dataclass
+class DynMoConfig:
+    balancer: str = "diffusion"  # "partition" | "diffusion" | "dp"
+    weight_by: str = "time"  # "time" | "param"
+    rebalance_every: int | None = None  # None -> scheme recommendation
+    repack: bool = False
+    repack_target_workers: int = 1
+    # Re-packing is only useful once dynamism has *shrunk* the model
+    # (section 3.4: "when the overall compute demand drops").  A shrink
+    # slack of 0.1 allows packing down to worker counts whose per-stage
+    # compute stays within 110% of the original per-stage compute, so
+    # throughput is sustained while GPUs are released.
+    repack_shrink_slack: float = 0.1
+    # Force packing to repack_target_workers regardless of the compute
+    # gate (the Fig. 4 sweep trains entire runs at 6/4/2 GPUs).
+    repack_force_target: bool = False
+    memory_capacity_bytes: float | None = None
+    migration_overlap: float = 0.7
+    profile_overhead_frac: float = 0.005
+    diffusion_gamma_frac: float = 1e-3  # gamma as fraction of total load
+
+    def __post_init__(self) -> None:
+        if self.balancer not in ("partition", "diffusion", "dp"):
+            raise ValueError(f"unknown balancer {self.balancer!r}")
+        if self.weight_by not in ("time", "param"):
+            raise ValueError(f"unknown weight_by {self.weight_by!r}")
+        if not 0.0 <= self.migration_overlap <= 1.0:
+            raise ValueError("migration_overlap must be in [0, 1]")
+
+
+@dataclass
+class DynMoDecision:
+    plan: PipelinePlan
+    rebalanced: bool = False
+    repacked: bool = False
+    released_workers: list[int] = field(default_factory=list)
+    overhead_s: float = 0.0
+    layers_moved: int = 0
+    report: ProfileReport | None = None
+
+
+class DynMoController:
+    def __init__(
+        self,
+        cost: ModelCost,
+        comm: CommCostModel | None = None,
+        config: DynMoConfig | None = None,
+        profiler: PipelineProfiler | None = None,
+        balancer_override: LoadBalancer | None = None,
+    ) -> None:
+        self.cost = cost
+        self.comm = comm
+        self.config = config or DynMoConfig()
+        self.profiler = profiler or PipelineProfiler(cost)
+        self.balancer_override = balancer_override
+        self.timers = TimerSet()
+        self.overhead = OverheadBreakdown()
+        self.num_rebalances = 0
+        self.num_repacks = 0
+        self._initial_per_stage_load: float | None = None
+
+    def _make_balancer(self, total_load: float) -> LoadBalancer:
+        if self.balancer_override is not None:
+            return self.balancer_override
+        if self.config.balancer == "partition":
+            return PartitionBalancer()
+        if self.config.balancer == "dp":
+            return DPExactBalancer()
+        return DiffusionBalancer(
+            gamma=max(self.config.diffusion_gamma_frac * total_load, 1e-15)
+        )
+
+    def should_invoke(self, k: int, scheme_every: int) -> bool:
+        every = self.config.rebalance_every or scheme_every
+        return every > 0 and k % every == 0
+
+    # -- the DynMo step -----------------------------------------------------
+    def rebalance(
+        self,
+        k: int,
+        plan: PipelinePlan,
+        states: list[LayerState],
+        iter_time_hint: float = 0.0,
+    ) -> DynMoDecision:
+        """One full DynMo invocation at iteration k."""
+        decision = DynMoDecision(plan=plan)
+
+        # 1. profile (instrumented iteration)
+        report = self.profiler.profile(plan, states, iteration=k)
+        decision.report = report
+        profile_cost = self.config.profile_overhead_frac * iter_time_hint
+        self.overhead.profile_s += profile_cost
+
+        weights = report.weights(self.config.weight_by)
+        mem_layers = report.layer_bytes.astype(float)
+        capacity = self.config.memory_capacity_bytes
+
+        # 2. optional re-pack first (fewer workers), then balance within.
+        # The compute gate ensures packing only happens once the model
+        # has shrunk enough that fewer workers sustain throughput.
+        total_load = float(weights.sum())
+        if self._initial_per_stage_load is None:
+            self._initial_per_stage_load = total_load / plan.num_stages
+        work_plan = plan
+        if self.config.repack and capacity is not None:
+            if self.config.repack_force_target:
+                target = self.config.repack_target_workers
+            else:
+                budget = self._initial_per_stage_load * (
+                    1.0 + self.config.repack_shrink_slack
+                )
+                min_stages_by_compute = max(
+                    1, int(np.ceil(total_load / max(budget, 1e-30)))
+                )
+                target = max(self.config.repack_target_workers, min_stages_by_compute)
+            new_plan, result = repack_plan(
+                work_plan,
+                report.worker_memory,
+                capacity,
+                target,
+            )
+            if result.num_active < plan.num_stages:
+                decision.repacked = True
+                decision.released_workers = result.released
+                self.num_repacks += 1
+                work_plan = new_plan
+
+        # 3. balance (real wall-clock measured)
+        balancer = self._make_balancer(float(weights.sum()))
+        timer = self.timers("balance")
+        timer.start()
+        result = balancer.rebalance(work_plan, weights, mem_layers, capacity)
+        balance_cost = timer.stop()
+        self.overhead.balance_s += balance_cost
+
+        new_plan = result.plan
+
+        # 4. migration cost
+        if new_plan.boundaries != plan.boundaries or decision.repacked:
+            migration = diff_plans(plan, new_plan, self.cost, states)
+            mig_cost = migration.cost_seconds(
+                self.comm, overlap=self.config.migration_overlap
+            )
+            self.overhead.migrate_s += mig_cost
+            decision.layers_moved = migration.num_layers_moved
+            decision.rebalanced = True
+            decision.plan = new_plan
+            decision.overhead_s = profile_cost + balance_cost + mig_cost
+        else:
+            decision.overhead_s = profile_cost + balance_cost
+        self.num_rebalances += 1
+        return decision

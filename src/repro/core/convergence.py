@@ -1,0 +1,42 @@
+"""Theoretical convergence bounds of the diffusion balancer (Lemma 2).
+
+The paper bounds the rounds to γ-convergence by
+
+    O( min( N² log(SN/γ) log N ,  S N log N / γ ) )
+
+with N workers, total pipeline size S and convergence factor γ.  The
+constant from the proof's good-round analysis is 60 n² ln(2n) ·
+ln(S n² γ⁻¹); we expose both the asymptotic expressions and the
+explicit s_con count so benchmarks can compare measured rounds against
+the bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def s_con(n: int, S: float, gamma: float) -> float:
+    """Good rounds needed: 60 n² ln(2n) ln(S n² / γ) (from the proof)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if S <= 0 or gamma <= 0:
+        raise ValueError("S and gamma must be positive")
+    arg = max(S * n * n / gamma, math.e)
+    return 60.0 * n * n * math.log(2 * n) * math.log(arg)
+
+
+def diffusion_rounds_bound(n: int, S: float, gamma: float) -> int:
+    """min(N² log(SN/γ) log N, S N log N / γ) — Lemma 2's bound.
+
+    Returned as an int >= 1 suitable as an iteration cap.
+    """
+    if n <= 1:
+        return 1
+    if S <= 0 or gamma <= 0:
+        raise ValueError("S and gamma must be positive")
+    log_n = math.log(n)
+    arg = max(S * n / gamma, math.e)
+    b1 = n * n * math.log(arg) * log_n
+    b2 = S * n * log_n / gamma
+    return max(1, int(math.ceil(min(b1, b2))))

@@ -1,0 +1,95 @@
+"""Workload re-packing onto fewer workers (paper Algorithm 2, section 3.4).
+
+``first_fit_repack`` is Algorithm 2 verbatim: iterate worker pairs
+(src, dst) with src < dst; when their combined memory fits a single
+GPU and we are still above the target worker count, move every layer
+of src to dst and deactivate src.  The output is the transfer list the
+paper's implementation hands to the migration engine.
+
+``repack_plan`` maps the result back onto pipeline semantics: the
+surviving workers receive a fresh *contiguous* partition over the same
+layers (re-packing is always followed by a balancing pass in DynMo, so
+the partition is immediately re-optimised by the active balancer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pipeline.plan import PipelinePlan
+
+
+@dataclass
+class RepackResult:
+    active_workers: list[int]  # 1 = still active, 0 = released
+    transfers: list[tuple[int, int, int]]  # (src_worker, dst_worker, layer_idx)
+    mem_usage: list[float]  # post-repack memory per worker
+
+    @property
+    def num_active(self) -> int:
+        return sum(self.active_workers)
+
+    @property
+    def released(self) -> list[int]:
+        return [i for i, a in enumerate(self.active_workers) if a == 0]
+
+
+def first_fit_repack(
+    mem_usage: list[float],
+    num_layers: list[int],
+    max_mem: float,
+    target_num_workers: int = 1,
+) -> RepackResult:
+    """Algorithm 2. ``mem_usage[i]`` / ``num_layers[i]`` describe worker i."""
+    if len(mem_usage) != len(num_layers):
+        raise ValueError("mem_usage and num_layers must have equal length")
+    if max_mem <= 0:
+        raise ValueError("max_mem must be positive")
+    if target_num_workers < 1:
+        raise ValueError("target_num_workers must be >= 1")
+    num_ranks = len(mem_usage)
+    active = [1] * num_ranks
+    mem = list(map(float, mem_usage))
+    layers = list(num_layers)
+    transfers: list[tuple[int, int, int]] = []
+
+    for src in range(num_ranks):
+        for dst in range(src + 1, num_ranks):
+            if active[src] == 0 or active[dst] == 0:
+                continue
+            if mem[src] + mem[dst] < max_mem and sum(active) > target_num_workers:
+                active[src] = 0
+                for lyr_idx in range(layers[src]):
+                    transfers.append((src, dst, lyr_idx))
+                mem[dst] += mem[src]
+                mem[src] = 0.0
+                layers[dst] += layers[src]
+                layers[src] = 0
+    return RepackResult(active, transfers, mem)
+
+
+def repack_plan(
+    plan: PipelinePlan,
+    worker_memory: np.ndarray,
+    max_mem: float,
+    target_num_workers: int = 1,
+) -> tuple[PipelinePlan, RepackResult]:
+    """Apply Algorithm 2 to a pipeline plan.
+
+    Returns (new contiguous plan over the surviving stage count, the
+    raw repack result).  If no consolidation is possible the original
+    plan is returned unchanged.
+    """
+    mem = list(np.asarray(worker_memory, dtype=float))
+    if len(mem) != plan.num_stages:
+        raise ValueError("one memory figure per stage required")
+    result = first_fit_repack(
+        mem, plan.stage_sizes(), max_mem, target_num_workers
+    )
+    if result.num_active == plan.num_stages:
+        return plan, result
+    new_stages = max(1, result.num_active)
+    new_plan = PipelinePlan.uniform(plan.num_layers, min(new_stages, plan.num_layers))
+    return new_plan, result

@@ -1,0 +1,54 @@
+"""Dynamism scheme interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.model.cost import LayerSpec, LayerState
+
+
+class DynamismScheme(ABC):
+    """Mutates per-layer states each iteration.
+
+    ``rebalance_every`` is the paper-recommended DynMo invocation
+    frequency for this scheme (Fig. 4 right table): 1 for MoE / sparse
+    attention / MoD, hundreds-to-thousands for freezing / early exit /
+    pruning.
+    """
+
+    name: str = "base"
+    rebalance_every: int = 1
+
+    def __init__(self, specs: list[LayerSpec]) -> None:
+        if not specs:
+            raise ValueError("specs must be non-empty")
+        self.specs = specs
+        self.block_indices = [i for i, sp in enumerate(specs) if sp.kind == "block"]
+
+    def initial_states(self) -> list[LayerState]:
+        return [LayerState() for _ in self.specs]
+
+    @abstractmethod
+    def step(self, k: int, states: list[LayerState]) -> bool:
+        """Advance to iteration ``k``; mutate states in place.
+
+        Returns True when the model or its control flow changed (i.e.
+        DynMo should consider this a dynamism event).
+        """
+
+    def _check(self, states: list[LayerState]) -> None:
+        if len(states) != len(self.specs):
+            raise ValueError("state/spec length mismatch")
+
+
+class StaticScheme(DynamismScheme):
+    """No dynamism — the control baseline (dense static model)."""
+
+    name = "static"
+    rebalance_every = 10**9
+
+    def step(self, k: int, states: list[LayerState]) -> bool:
+        self._check(states)
+        return False

@@ -1,0 +1,75 @@
+"""Composition of dynamism schemes.
+
+The paper's conclusion argues DynMo is orthogonal to the dynamism
+source; real training stacks several at once (e.g. freezing *and*
+gradual pruning, or MoE routing under early exit).  A composite scheme
+steps its children in order over the same state vector; the DynMo
+cadence is the tightest (minimum) of the children's.
+
+State fields compose naturally because each scheme owns disjoint
+fields (pruning -> sparsity, freezing -> frozen/droppable, sparse
+attention -> attn_density, early exit / MoD -> token_fraction, MoE ->
+moe_multiplier); overlapping writers (e.g. early exit + MoD, both on
+token_fraction) are rejected at construction.
+"""
+
+from __future__ import annotations
+
+from repro.dynamics.base import DynamismScheme
+from repro.dynamics.early_exit import EarlyExitDynamism
+from repro.dynamics.freezing import FreezingDynamism
+from repro.dynamics.mod import MoDDynamism
+from repro.dynamics.moe import MoEDynamism
+from repro.dynamics.pruning import PruningDynamism
+from repro.dynamics.sparse_attention import SparseAttentionDynamism
+from repro.model.cost import LayerState
+
+_FIELDS: dict[type, tuple[str, ...]] = {
+    PruningDynamism: ("sparsity",),
+    FreezingDynamism: ("frozen", "droppable_bwd"),
+    SparseAttentionDynamism: ("attn_density",),
+    EarlyExitDynamism: ("token_fraction",),
+    MoDDynamism: ("token_fraction", "moe_multiplier"),
+    MoEDynamism: ("moe_multiplier",),
+}
+
+
+def scheme_fields(scheme: DynamismScheme) -> tuple[str, ...]:
+    for klass, fields in _FIELDS.items():
+        if isinstance(scheme, klass):
+            return fields
+    return ()
+
+
+class CompositeDynamism(DynamismScheme):
+    """Run several schemes over one state vector."""
+
+    name = "composite"
+
+    def __init__(self, schemes: list[DynamismScheme]) -> None:
+        if not schemes:
+            raise ValueError("need at least one scheme")
+        specs = schemes[0].specs
+        for s in schemes[1:]:
+            if s.specs is not specs and len(s.specs) != len(specs):
+                raise ValueError("all schemes must share the same layer specs")
+        super().__init__(specs)
+        claimed: dict[str, str] = {}
+        for s in schemes:
+            for f in scheme_fields(s):
+                if f in claimed:
+                    raise ValueError(
+                        f"state field {f!r} written by both "
+                        f"{claimed[f]} and {type(s).__name__}"
+                    )
+                claimed[f] = type(s).__name__
+        self.schemes = list(schemes)
+        self.rebalance_every = min(s.rebalance_every for s in schemes)
+        self.name = "+".join(s.name for s in schemes)
+
+    def step(self, k: int, states: list[LayerState]) -> bool:
+        self._check(states)
+        changed = False
+        for s in self.schemes:
+            changed |= s.step(k, states)
+        return changed

@@ -1,0 +1,172 @@
+"""Pilot-model signal extraction: real numpy-GPT statistics → LayerStates.
+
+The statistical processes in :mod:`repro.dynamics` are calibrated to
+the paper's measurements; this module provides the *measured* path: a
+small numpy GPT actually runs, and its routing counts, LSH mask
+densities, confidence survival, global-magnitude retention and
+gradient-norm plateaus are mapped onto the cost model's layer states.
+Pilot depth rarely equals target depth, so per-layer signals are
+interpolated over relative depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamics.early_exit import confidence_survival
+from repro.dynamics.pruning import GlobalMagnitudePruner
+from repro.dynamics.sparse_attention import lsh_block_mask
+from repro.model.cost import LayerSpec, LayerState
+from repro.nn import GPT
+from repro.nn import functional as F
+from repro.utils.rng import new_rng
+
+
+def interpolate_depthwise(values: np.ndarray, target_len: int) -> np.ndarray:
+    """Resample a per-layer signal onto a different depth."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if target_len <= 0:
+        raise ValueError("target_len must be positive")
+    if values.size == 1:
+        return np.full(target_len, values[0])
+    x_src = np.linspace(0.0, 1.0, values.size)
+    x_dst = np.linspace(0.0, 1.0, target_len)
+    return np.interp(x_dst, x_src, values)
+
+
+class PilotSignals:
+    """Extract per-layer dynamism signals from a small real GPT."""
+
+    def __init__(
+        self,
+        num_layers: int = 6,
+        hidden: int = 48,
+        num_heads: int = 4,
+        seq: int = 32,
+        vocab: int = 128,
+        moe: bool = False,
+        num_experts: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.rng = new_rng(seed)
+        self.seq = seq
+        self.vocab = vocab
+        self.gpt = GPT(
+            vocab_size=vocab,
+            hidden=hidden,
+            num_layers=num_layers,
+            num_heads=num_heads,
+            max_seq=seq,
+            moe_every=1 if moe else 0,
+            num_experts=num_experts if moe else 8,
+            seed=seed,
+        )
+
+    def _batch(self, batch: int = 4) -> np.ndarray:
+        return self.rng.integers(0, self.vocab, size=(batch, self.seq))
+
+    # -- per-scheme signals ------------------------------------------------
+    def moe_multipliers(self) -> np.ndarray:
+        """Slowest-expert multiplier per block from real router counts."""
+        ids = self._batch()
+        self.gpt(ids)
+        mults = []
+        for blk in self.gpt.blocks:
+            if blk.is_moe:
+                counts = blk.ffn.tokens_per_expert().astype(float)
+                fair = counts.sum() / len(counts)
+                mults.append(counts.max() / fair if fair > 0 else 1.0)
+            else:
+                mults.append(1.0)
+        return np.asarray(mults)
+
+    def attention_densities(self, block_size: int = 8, num_hashes: int = 3) -> np.ndarray:
+        """Live-block fraction of the LSH mask per layer."""
+        ids = self._batch(batch=1)
+        states = self.gpt.hidden_states(ids)
+        dens = []
+        for li, h in enumerate(states):
+            mask = lsh_block_mask(h[0], block_size, num_hashes, seed=li)
+            dens.append(float(mask.mean()))
+        return np.asarray(dens)
+
+    def exit_survival(self, quantile: float = 0.7) -> np.ndarray:
+        """CALM-style survival curve from top-probability confidence."""
+        ids = self._batch()
+        states = self.gpt.hidden_states(ids)
+        conf = []
+        for h in states:
+            logits = self.gpt.head(self.gpt.ln_f(h))
+            conf.append(F.softmax(logits, axis=-1).max(axis=-1).reshape(-1))
+        conf = np.stack(conf)
+        return confidence_survival(conf, threshold=float(np.quantile(conf, quantile)))
+
+    def pruning_retentions(self, sparsity: float, num_ranks: int = 4) -> np.ndarray:
+        """Per-block retention from Algorithm 1 on the real weights."""
+        block_flats = []
+        for blk in self.gpt.blocks:
+            ws = [p.data.reshape(-1) for p in blk.parameters() if p.data.ndim == 2]
+            block_flats.append(np.concatenate(ws))
+        all_w = np.concatenate(block_flats)
+        shards = np.array_split(all_w, num_ranks)
+        keeps = GlobalMagnitudePruner(num_ranks).prune(list(shards), sparsity)
+        keep_flat = np.concatenate(keeps)
+        out = []
+        off = 0
+        for flat in block_flats:
+            out.append(float(keep_flat[off : off + flat.size].mean()))
+            off += flat.size
+        return np.asarray(out)
+
+    def gradient_norm_stream(self, steps: int = 5) -> np.ndarray:
+        """(steps, blocks) per-block gradient norms from real training
+        steps (the plateau freezer's input)."""
+        from repro.nn import Adam, softmax_cross_entropy
+
+        opt = Adam(self.gpt.parameters(), lr=1e-3)
+        out = np.zeros((steps, len(self.gpt.blocks)))
+        for t in range(steps):
+            ids = self._batch()
+            targets = np.roll(ids, -1, axis=1)
+            logits = self.gpt(ids)
+            _, d = softmax_cross_entropy(logits, targets)
+            self.gpt.zero_grad()
+            self.gpt.backward(d)
+            for j, blk in enumerate(self.gpt.blocks):
+                out[t, j] = np.sqrt(sum(np.sum(p.grad**2) for p in blk.parameters()))
+            opt.step()
+        return out
+
+    # -- mapping onto LayerStates -------------------------------------------
+    def apply_to_states(
+        self,
+        specs: list[LayerSpec],
+        states: list[LayerState],
+        kind: str,
+        **kwargs,
+    ) -> list[LayerState]:
+        """Write one signal kind onto the block layers of ``states``."""
+        blocks = [i for i, sp in enumerate(specs) if sp.kind == "block"]
+        if kind == "moe":
+            sig = interpolate_depthwise(self.moe_multipliers(), len(blocks))
+            for j, i in enumerate(blocks):
+                states[i].moe_multiplier = float(max(1.0, sig[j]))
+        elif kind == "sparse_attention":
+            sig = interpolate_depthwise(self.attention_densities(**kwargs), len(blocks))
+            for j, i in enumerate(blocks):
+                states[i].attn_density = float(np.clip(sig[j], 0.01, 1.0))
+        elif kind == "early_exit":
+            sig = interpolate_depthwise(self.exit_survival(**kwargs), len(blocks))
+            for j, i in enumerate(blocks):
+                states[i].token_fraction = float(np.clip(sig[j], 0.01, 1.0))
+        elif kind == "pruning":
+            sig = interpolate_depthwise(
+                self.pruning_retentions(kwargs.pop("sparsity", 0.8)), len(blocks)
+            )
+            for j, i in enumerate(blocks):
+                states[i].sparsity = float(np.clip(1.0 - sig[j], 0.0, 1.0))
+        else:
+            raise ValueError(f"unknown signal kind {kind!r}")
+        return states

@@ -1,0 +1,100 @@
+"""Dynamic sparse flash attention (paper sections 2.4, 4.2.4).
+
+Pagliardini et al. hash queries/keys with LSH; only blocks whose
+hash buckets collide are computed, producing an *irregular, content-
+dependent* block-sparse causal mask.  Different layers hash different
+representations, so per-layer attention density varies per iteration —
+a 4x bubble-ratio increase in the paper.
+
+Two components:
+
+- :func:`lsh_block_mask` — a real LSH block-mask generator over numpy
+  hidden states (used with :class:`repro.nn.MultiHeadAttention`).
+- :class:`SparseAttentionDynamism` — calibrated per-layer density
+  process for the cost model: each layer holds a beta-distributed base
+  density that drifts, with per-iteration hash jitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamics.base import DynamismScheme
+from repro.model.cost import LayerSpec, LayerState
+from repro.utils.rng import new_rng
+
+
+def lsh_block_mask(
+    x: np.ndarray,
+    block_size: int = 16,
+    num_hashes: int = 4,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Content-based block mask from random-projection LSH.
+
+    x: (T, H) hidden states.  Tokens are bucketed by the sign pattern
+    of ``num_hashes`` random projections; a (query-block, key-block)
+    tile is live iff the two blocks share at least one bucket.
+    Causality is enforced by the attention layer itself.
+    """
+    if x.ndim != 2:
+        raise ValueError("x must be (T, H)")
+    T, H = x.shape
+    rng = new_rng(seed)
+    proj = rng.normal(size=(H, num_hashes))
+    codes = (x @ proj > 0).astype(np.int64)  # (T, num_hashes)
+    buckets = codes @ (1 << np.arange(num_hashes))  # (T,)
+    nb = (T + block_size - 1) // block_size
+    pad = nb * block_size - T
+    if pad:
+        buckets = np.concatenate([buckets, np.full(pad, -1)])
+    blocks = buckets.reshape(nb, block_size)
+    # per-block bucket sets -> pairwise intersection via bitsets
+    nbuckets = 1 << num_hashes
+    present = np.zeros((nb, nbuckets), dtype=bool)
+    for b in range(nb):
+        vals = blocks[b]
+        present[b, vals[vals >= 0]] = True
+    inter = present @ present.T  # (nb, nb) counts of shared buckets
+    mask = inter > 0
+    np.fill_diagonal(mask, True)  # a block always attends to itself
+    return mask
+
+
+class SparseAttentionDynamism(DynamismScheme):
+    name = "sparse_attention"
+    rebalance_every = 1  # hash pattern changes with content, every iter
+
+    def __init__(
+        self,
+        specs: list[LayerSpec],
+        mean_density: float = 0.25,
+        layer_spread: float = 4.0,
+        jitter: float = 0.05,
+        drift: float = 0.01,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        super().__init__(specs)
+        if not 0 < mean_density <= 1:
+            raise ValueError("mean_density must be in (0, 1]")
+        self.rng = new_rng(seed)
+        self.jitter = jitter
+        self.drift = drift
+        d = len(self.block_indices)
+        # per-layer base densities ~ Beta, mean = mean_density
+        a = layer_spread * mean_density
+        b = layer_spread * (1 - mean_density)
+        self.base_density = self.rng.beta(a, b, size=d)
+        self.base_density = np.clip(self.base_density, 0.02, 1.0)
+
+    def step(self, k: int, states: list[LayerState]) -> bool:
+        self._check(states)
+        d = len(self.block_indices)
+        # slow drift of the base pattern (the model's representations move)
+        self.base_density *= np.exp(self.rng.normal(0.0, self.drift, size=d))
+        self.base_density = np.clip(self.base_density, 0.02, 1.0)
+        dens = self.base_density * np.exp(self.rng.normal(0.0, self.jitter, size=d))
+        dens = np.clip(dens, 0.02, 1.0)
+        for j, i in enumerate(self.block_indices):
+            states[i].attn_density = float(dens[j])
+        return True

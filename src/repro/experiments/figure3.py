@@ -1,0 +1,60 @@
+"""Figure 3: end-to-end training throughput, six scenarios.
+
+For each scenario we run the paper's contenders and report tokens/sec
+and the headline speedup (best DynMo variant over best
+static/SoTA baseline):
+
+- MoE:      Megatron, DeepSpeed, Tutel vs DynMo (Partition/Diffusion)
+- Pruning:  Megatron, DeepSpeed vs DynMo
+- Freezing: Egeria vs DynMo
+- Sparse:   Dense-attention baseline vs DynMo-balanced sparse model
+- EarlyExit: No-exit baseline vs DynMo-balanced early-exit model
+- MoD:      Megatron, DeepSpeed vs DynMo
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ScenarioSetup, build_scenario, run_training
+
+BASELINE_MODES = {
+    "moe": ("megatron", "deepspeed", "tutel"),
+    "pruning": ("megatron", "deepspeed"),
+    "freezing": ("egeria",),
+    "sparse_attention": ("dense-baseline",),
+    "early_exit": ("dense-baseline",),
+    "mod": ("megatron", "deepspeed"),
+}
+
+DYNMO_MODES = ("dynmo-partition", "dynmo-diffusion")
+
+
+def run_figure3_scenario(
+    name: str,
+    num_layers: int = 24,
+    pp_stages: int = 8,
+    dp_ways: int = 2,
+    iterations: int = 300,
+    weight_by: str = "time",
+) -> dict:
+    """Run all contenders for one scenario; returns a result row."""
+    setup = build_scenario(
+        name,
+        num_layers=num_layers,
+        pp_stages=pp_stages,
+        dp_ways=dp_ways,
+        iterations=iterations,
+    )
+    row: dict = {"scenario": name, "layers": num_layers}
+    best_baseline = 0.0
+    for mode in BASELINE_MODES[name]:
+        res = run_training(setup, mode=mode)
+        row[mode] = res.tokens_per_s
+        best_baseline = max(best_baseline, res.tokens_per_s)
+    best_dynmo = 0.0
+    for mode in DYNMO_MODES:
+        res = run_training(setup, mode=mode, weight_by=weight_by)
+        row[mode] = res.tokens_per_s
+        row[f"{mode}_bubble"] = res.mean_bubble_ratio
+        best_dynmo = max(best_dynmo, res.tokens_per_s)
+    row["speedup"] = best_dynmo / best_baseline if best_baseline > 0 else float("inf")
+    return row

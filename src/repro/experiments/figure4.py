@@ -1,0 +1,123 @@
+"""Figure 4: re-packing to fewer GPUs + the load-balancing overhead table.
+
+Left/centre panels: for each model depth, pipeline-parallel training
+starts on 8 GPUs; after dynamism shrinks the model, DynMo re-packs to
+6/4/2 GPUs.  Reported: throughput (tokens/sec) and throughput-per-GPU
+(the performance-per-dollar proxy), with OOM cells when the packed
+model does not fit.  Bottom row: average GPU count over the whole run
+when re-packing is triggered automatically.
+
+Right panel: load-balancing overhead percentage (profiling +
+balancing algorithm + migration) per scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.job_manager import ElasticJobManager
+from repro.cluster.memory import OutOfMemoryError
+from repro.experiments.common import ScenarioSetup, build_scenario, run_training
+from repro.pipeline.plan import PipelinePlan
+
+
+def run_figure4_repacking(
+    scenario: str = "pruning",
+    num_layers: int = 24,
+    iterations: int = 400,
+    gpu_counts: tuple[int, ...] = (8, 6, 4, 2),
+    memory_scale: float = 1.0,
+) -> list[dict]:
+    """Sweep forced re-pack targets; one row per GPU count.
+
+    ``memory_scale`` shrinks the simulated GPU memory so that OOM
+    behaviour manifests at small GPU counts like in the paper.
+    """
+    rows: list[dict] = []
+    setup = build_scenario(
+        scenario, num_layers=num_layers, pp_stages=max(gpu_counts),
+        dp_ways=1, iterations=iterations,
+    )
+    capacity = setup.topology.gpu.memory_bytes * memory_scale
+    for target in gpu_counts:
+        row: dict = {"scenario": scenario, "layers": num_layers, "gpus": target}
+        try:
+            if target == max(gpu_counts):
+                res = run_training(setup, mode="dynmo-diffusion")
+                avg_gpus = float(target)
+            else:
+                jm = ElasticJobManager(total_gpus=max(gpu_counts))
+                res = run_training(
+                    setup,
+                    mode="dynmo-diffusion",
+                    repack=True,
+                    repack_target=target,
+                    repack_force=True,
+                    job_manager=jm,
+                )
+                avg_gpus = res.average_gpus
+            # feasibility: does the packed model fit `target` workers?
+            _check_fits(setup, target, capacity)
+            row["tokens_per_s"] = res.tokens_per_s
+            row["tps_per_gpu"] = res.tokens_per_s / max(1.0, avg_gpus)
+            row["avg_gpus"] = avg_gpus
+            row["oom"] = False
+        except OutOfMemoryError:
+            row["tokens_per_s"] = 0.0
+            row["tps_per_gpu"] = 0.0
+            row["avg_gpus"] = float(target)
+            row["oom"] = True
+        rows.append(row)
+    return rows
+
+
+def _check_fits(setup: ScenarioSetup, workers: int, capacity: float) -> None:
+    """Raise OutOfMemoryError when the dense model can't pack that low."""
+    from repro.core.profiler import PipelineProfiler
+    from repro.model.cost import fresh_states
+
+    plan = PipelinePlan.uniform(len(setup.specs), workers)
+    report = PipelineProfiler(setup.cost).profile(plan, fresh_states(len(setup.specs)))
+    # the *final* (shrunken) model is what gets packed; approximate its
+    # footprint with the scheme's terminal state
+    scheme = setup.scheme_factory()
+    states = scheme.initial_states()
+    for k in range(setup.iterations):
+        scheme.step(k, states)
+    final = PipelineProfiler(setup.cost).profile(plan, states)
+    if (final.worker_memory > capacity).any():
+        raise OutOfMemoryError(
+            f"{workers} workers: stage memory {final.worker_memory.max():.2e} "
+            f"> capacity {capacity:.2e}"
+        )
+
+
+def run_overhead_table(
+    scenarios: tuple[str, ...] = (
+        "pruning",
+        "freezing",
+        "sparse_attention",
+        "early_exit",
+        "mod",
+        "moe",
+    ),
+    num_layers: int = 24,
+    iterations: int = 200,
+) -> list[dict]:
+    """Fig. 4 right: overhead %% and breakdown per scenario."""
+    rows = []
+    for name in scenarios:
+        setup = build_scenario(
+            name, num_layers=num_layers, pp_stages=8, dp_ways=1, iterations=iterations
+        )
+        res = run_training(setup, mode="dynmo-diffusion")
+        rows.append(
+            {
+                "scenario": name,
+                "layers": num_layers,
+                "overhead_pct": 100.0 * res.overhead_fraction,
+                "rebalance_every": setup.rebalance_every,
+                "layers_moved": res.layers_moved,
+            }
+        )
+    return rows

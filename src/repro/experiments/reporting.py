@@ -1,0 +1,38 @@
+"""ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    return str(v)
+
+
+def ascii_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str | None = None) -> str:
+    """Render a list of dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("| " + " | ".join(c.ljust(w) for c, w in zip(cols, widths)) + " |")
+    out.append(sep)
+    for row in cells:
+        out.append("| " + " | ".join(v.rjust(w) for v, w in zip(row, widths)) + " |")
+    out.append(sep)
+    return "\n".join(out)

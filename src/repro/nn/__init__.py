@@ -1,0 +1,42 @@
+"""Minimal-but-real numpy neural-network substrate.
+
+This package stands in for the PyTorch/CUDA stack the paper trains on.
+It provides a GPT-style transformer with *manual* forward/backward
+passes, so dynamism schemes (pruning, freezing, MoE routing, early
+exit, MoD) operate on genuine numerical signals — weight magnitudes,
+router logits, loss velocities, token confidences — rather than
+hand-waved placeholders.
+
+Shapes follow the (batch, seq, hidden) convention throughout.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.layernorm import LayerNorm
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.mlp import MLP
+from repro.nn.moe import MoELayer, TopKRouter, ExpertChoiceRouter, SBaseRouter
+from repro.nn.transformer import TransformerBlock, GPT
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "MLP",
+    "MoELayer",
+    "TopKRouter",
+    "ExpertChoiceRouter",
+    "SBaseRouter",
+    "TransformerBlock",
+    "GPT",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,98 @@
+"""Multi-head causal self-attention with optional block-sparse masking.
+
+The block-sparse path models "dynamic sparse flash attention"
+(Pagliardini et al.): an externally supplied boolean block mask
+restricts which (query-block, key-block) tiles are computed.  The mask
+is ANDed with the causal mask; masked logits are set to -inf before the
+softmax, and the *fraction of live blocks* is exposed so the cost model
+can scale the quadratic term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+def expand_block_mask(block_mask: np.ndarray, block_size: int, seq_len: int) -> np.ndarray:
+    """Expand an (nb, nb) block mask to a (T, T) element mask."""
+    nb = block_mask.shape[0]
+    if nb * block_size < seq_len:
+        raise ValueError(
+            f"block mask {nb}x{nb} with block_size {block_size} cannot cover seq {seq_len}"
+        )
+    full = np.repeat(np.repeat(block_mask, block_size, axis=0), block_size, axis=1)
+    return full[:seq_len, :seq_len]
+
+
+class MultiHeadAttention(Module):
+    """Standard MHA; heads share one fused QKV projection."""
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        seed: int | np.random.Generator = 0,
+        name: str = "attn",
+    ) -> None:
+        if hidden % num_heads != 0:
+            raise ValueError(f"hidden {hidden} not divisible by heads {num_heads}")
+        rng = new_rng(seed)
+        self.hidden = hidden
+        self.num_heads = num_heads
+        self.head_dim = hidden // num_heads
+        self.qkv = Linear(hidden, 3 * hidden, seed=rng, name=f"{name}.qkv")
+        self.proj = Linear(hidden, hidden, seed=rng, name=f"{name}.proj")
+        self._cache = None
+        # Fraction of allowed attention entries in the last forward
+        # (1.0 for dense causal); consumed by the cost model.
+        self.last_density: float = 1.0
+
+    def forward(
+        self, x: np.ndarray, block_mask: np.ndarray | None = None, block_size: int = 16
+    ) -> np.ndarray:
+        B, T, H = x.shape
+        qkv = self.qkv(x)  # (B, T, 3H)
+        qkv = qkv.reshape(B, T, 3, self.num_heads, self.head_dim)
+        q = qkv[:, :, 0].transpose(0, 2, 1, 3)  # (B, h, T, d)
+        k = qkv[:, :, 1].transpose(0, 2, 1, 3)
+        v = qkv[:, :, 2].transpose(0, 2, 1, 3)
+
+        mask = F.causal_mask(T)
+        if block_mask is not None:
+            mask = mask & expand_block_mask(block_mask, block_size, T)
+        self.last_density = float(mask.sum()) / float(T * T)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        logits = np.einsum("bhtd,bhsd->bhts", q, k) * scale
+        logits = np.where(mask, logits, -1e30)
+        attn = F.softmax(logits, axis=-1)
+        out = np.einsum("bhts,bhsd->bhtd", attn, v)  # (B, h, T, d)
+        y = out.transpose(0, 2, 1, 3).reshape(B, T, H)
+        y = self.proj(y)
+        self._cache = (q, k, v, attn, mask, scale, (B, T, H))
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        q, k, v, attn, mask, scale, (B, T, H) = self._cache
+        dout = self.proj.backward(dy)  # (B, T, H)
+        dout = dout.reshape(B, T, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        dattn = np.einsum("bhtd,bhsd->bhts", dout, v)
+        dv = np.einsum("bhts,bhtd->bhsd", attn, dout)
+        dlogits = F.softmax_grad(dattn, attn, axis=-1)
+        dlogits = np.where(mask, dlogits, 0.0) * scale
+        dq = np.einsum("bhts,bhsd->bhtd", dlogits, k)
+        dk = np.einsum("bhts,bhtd->bhsd", dlogits, q)
+
+        dqkv = np.empty((B, T, 3, self.num_heads, self.head_dim))
+        dqkv[:, :, 0] = dq.transpose(0, 2, 1, 3)
+        dqkv[:, :, 1] = dk.transpose(0, 2, 1, 3)
+        dqkv[:, :, 2] = dv.transpose(0, 2, 1, 3)
+        return self.qkv.backward(dqkv.reshape(B, T, 3 * H))

@@ -1,0 +1,45 @@
+"""Token and position embeddings with manual backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import new_rng
+
+
+class Embedding(Module):
+    """Lookup table: (vocab, hidden).  Input is an int array of ids."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        seed: int | np.random.Generator = 0,
+        name: str = "embedding",
+    ) -> None:
+        rng = new_rng(seed)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            rng.normal(0.0, 0.02, size=(num_embeddings, dim)), f"{name}.weight"
+        )
+        self._ids: np.ndarray | None = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if ids.min(initial=0) < 0 or (ids.size and ids.max() >= self.num_embeddings):
+            raise ValueError("embedding id out of range")
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, dy: np.ndarray) -> None:
+        """Scatter-add gradient back into the table. Returns None: ids
+        are not differentiable."""
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        g = np.zeros_like(self.weight.data)
+        np.add.at(g, self._ids.reshape(-1), dy.reshape(-1, self.dim))
+        self.weight.accumulate_grad(g)
+        return None

@@ -1,0 +1,73 @@
+"""Stateless numerical primitives with explicit gradients.
+
+All functions are vectorised numpy; no Python-level loops over tokens.
+Gradient conventions: ``*_grad(dy, cache) -> dx`` where ``cache`` is
+whatever the forward returned for reuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    z = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def softmax_grad(dy: np.ndarray, y: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward of softmax given output ``y`` and upstream ``dy``."""
+    dot = np.sum(dy * y, axis=axis, keepdims=True)
+    return y * (dy - dot)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    z = x - np.max(x, axis=axis, keepdims=True)
+    return z - np.log(np.sum(np.exp(z), axis=axis, keepdims=True))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """tanh-approximation GELU (matches GPT-2)."""
+    inner = SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def gelu_grad(dy: np.ndarray, x: np.ndarray) -> np.ndarray:
+    inner = SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    dinner = SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    return dy * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner)
+
+
+def layernorm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5):
+    """LayerNorm over the last axis. Returns (y, cache)."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mu) * inv
+    y = xhat * gamma + beta
+    return y, (xhat, inv, gamma)
+
+
+def layernorm_grad(dy: np.ndarray, cache):
+    """Backward of layernorm. Returns (dx, dgamma, dbeta)."""
+    xhat, inv, gamma = cache
+    h = xhat.shape[-1]
+    dgamma = np.sum(dy * xhat, axis=tuple(range(dy.ndim - 1)))
+    dbeta = np.sum(dy, axis=tuple(range(dy.ndim - 1)))
+    dxhat = dy * gamma
+    dx = inv / h * (
+        h * dxhat
+        - np.sum(dxhat, axis=-1, keepdims=True)
+        - xhat * np.sum(dxhat * xhat, axis=-1, keepdims=True)
+    )
+    return dx, dgamma, dbeta
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """(T, T) boolean mask, True where attention is allowed (j <= i)."""
+    return np.tril(np.ones((seq_len, seq_len), dtype=bool))

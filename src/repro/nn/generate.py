@@ -1,0 +1,96 @@
+"""Autoregressive generation with optional early exit.
+
+Greedy/temperature sampling from the numpy GPT, plus a CALM-style
+early-exit decoder that stops propagating a token through deeper
+blocks once its intermediate-head confidence crosses a threshold —
+the inference-side behaviour the early-exit dynamism models, useful
+for validating survival curves end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.transformer import GPT
+from repro.utils.rng import new_rng
+
+
+def sample_logits(
+    logits: np.ndarray,
+    temperature: float = 1.0,
+    rng: np.random.Generator | int = 0,
+) -> int:
+    """Sample one token id from a (V,) logit vector."""
+    if temperature < 0:
+        raise ValueError("temperature must be >= 0")
+    if temperature == 0:
+        return int(np.argmax(logits))
+    probs = F.softmax(logits / temperature)
+    return int(new_rng(rng).choice(logits.shape[0], p=probs))
+
+
+def generate(
+    gpt: GPT,
+    prompt: np.ndarray,
+    max_new_tokens: int = 16,
+    temperature: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Standard autoregressive decoding (full depth every token)."""
+    ids = np.asarray(prompt).reshape(1, -1).copy()
+    rng = new_rng(seed)
+    for _ in range(max_new_tokens):
+        logits = gpt(ids)
+        nxt = sample_logits(logits[0, -1], temperature, rng)
+        ids = np.concatenate([ids, [[nxt]]], axis=1)
+    return ids[0]
+
+
+def generate_early_exit(
+    gpt: GPT,
+    prompt: np.ndarray,
+    max_new_tokens: int = 16,
+    confidence_threshold: float = 0.9,
+    min_layers: int = 1,
+) -> tuple[np.ndarray, list[int]]:
+    """CALM-style decoding: exit at the first layer whose intermediate
+    prediction is confident.  Returns (ids, exit_layer_per_token)."""
+    if not 0 < confidence_threshold <= 1:
+        raise ValueError("confidence_threshold must be in (0, 1]")
+    if min_layers < 1:
+        raise ValueError("min_layers must be >= 1")
+    ids = np.asarray(prompt).reshape(1, -1).copy()
+    exit_layers: list[int] = []
+    for _ in range(max_new_tokens):
+        B, T = ids.shape
+        pos = np.broadcast_to(np.arange(T), (B, T))
+        x = gpt.tok_emb(ids) + gpt.pos_emb(pos)
+        chosen = None
+        exit_at = len(gpt.blocks)
+        for li, blk in enumerate(gpt.blocks):
+            x = blk(x)
+            if li + 1 < min_layers:
+                continue
+            logits = gpt.head(gpt.ln_f(x))[0, -1]
+            probs = F.softmax(logits)
+            if probs.max() >= confidence_threshold or li == len(gpt.blocks) - 1:
+                chosen = int(np.argmax(logits))
+                exit_at = li + 1
+                break
+        exit_layers.append(exit_at)
+        ids = np.concatenate([ids, [[chosen]]], axis=1)
+    return ids[0], exit_layers
+
+
+def clip_grad_norm(params, max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    params = list(params)
+    total = float(np.sqrt(sum(float(np.sum(p.grad**2)) for p in params)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total

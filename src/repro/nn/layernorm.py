@@ -1,0 +1,30 @@
+"""LayerNorm module wrapping the functional implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = "ln") -> None:
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim), f"{name}.beta")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y, self._cache = F.layernorm(x, self.gamma.data, self.beta.data, self.eps)
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        dx, dgamma, dbeta = F.layernorm_grad(dy, self._cache)
+        self.gamma.accumulate_grad(dgamma)
+        self.beta.accumulate_grad(dbeta)
+        return dx

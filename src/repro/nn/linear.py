@@ -1,0 +1,55 @@
+"""Dense (optionally pruned) linear layer with manual backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import new_rng
+
+
+class Linear(Module):
+    """y = x @ W + b with W of shape (in_features, out_features).
+
+    Accepts inputs of shape (..., in_features); all leading axes are
+    treated as batch. When ``W.mask`` is set (pruning), the weight is
+    already zeroed in place, so the dense matmul remains correct; the
+    sparse execution path lives in :mod:`repro.sparse`.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: int | np.random.Generator = 0,
+        name: str = "linear",
+    ) -> None:
+        rng = new_rng(seed)
+        scale = 1.0 / np.sqrt(in_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.W = Parameter(
+            rng.normal(0.0, scale, size=(in_features, out_features)), f"{name}.W"
+        )
+        self.b = Parameter(np.zeros(out_features), f"{name}.b") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        y = x @ self.W.data
+        if self.b is not None:
+            y = y + self.b.data
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        x2 = x.reshape(-1, self.in_features)
+        dy2 = dy.reshape(-1, self.out_features)
+        self.W.accumulate_grad(x2.T @ dy2)
+        if self.b is not None:
+            self.b.accumulate_grad(dy2.sum(axis=0))
+        return dy @ self.W.data.T

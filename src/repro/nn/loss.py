@@ -1,0 +1,34 @@
+"""Cross-entropy loss with fused softmax gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray, ignore_index: int = -100
+) -> tuple[float, np.ndarray]:
+    """Mean token cross-entropy.
+
+    logits: (B, T, V); targets: (B, T) int ids.  Returns (loss, dlogits)
+    where dlogits already includes the 1/num_valid normalisation.
+    """
+    B, T, V = logits.shape
+    flat = logits.reshape(-1, V)
+    tgt = targets.reshape(-1)
+    valid = tgt != ignore_index
+    n = int(valid.sum())
+    if n == 0:
+        return 0.0, np.zeros_like(logits)
+    logp = F.log_softmax(flat, axis=-1)
+    safe_tgt = np.where(valid, tgt, 0)
+    picked = logp[np.arange(flat.shape[0]), safe_tgt]
+    loss = -float(np.sum(picked * valid)) / n
+
+    probs = np.exp(logp)
+    dflat = probs
+    dflat[np.arange(flat.shape[0]), safe_tgt] -= 1.0
+    dflat *= (valid / n)[:, None]
+    return loss, dflat.reshape(B, T, V)

@@ -1,0 +1,38 @@
+"""Transformer feed-forward block (Linear -> GELU -> Linear)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+class MLP(Module):
+    def __init__(
+        self,
+        hidden: int,
+        expansion: int = 4,
+        seed: int | np.random.Generator = 0,
+        name: str = "mlp",
+    ) -> None:
+        rng = new_rng(seed)
+        self.hidden = hidden
+        self.inner = hidden * expansion
+        self.fc1 = Linear(hidden, self.inner, seed=rng, name=f"{name}.fc1")
+        self.fc2 = Linear(self.inner, hidden, seed=rng, name=f"{name}.fc2")
+        self._pre_act: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        a = self.fc1(x)
+        self._pre_act = a
+        return self.fc2(F.gelu(a))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._pre_act is None:
+            raise RuntimeError("backward called before forward")
+        da = self.fc2.backward(dy)
+        da = F.gelu_grad(da, self._pre_act)
+        return self.fc1.backward(da)

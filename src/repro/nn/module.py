@@ -1,0 +1,86 @@
+"""Module base class: parameter registry, freezing, pruning hooks."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class for layers with manual forward/backward.
+
+    Subclasses register :class:`Parameter` and sub-``Module`` instances
+    as plain attributes; discovery walks ``__dict__`` (and lists of
+    modules) recursively, mirroring the PyTorch convention closely
+    enough for this substrate.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- registry -----------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for v in self.__dict__.values():
+            if isinstance(v, Parameter):
+                yield v
+            elif isinstance(v, Module):
+                yield from v.parameters()
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+                    elif isinstance(item, Parameter):
+                        yield item
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for v in self.__dict__.values():
+            if isinstance(v, Module):
+                yield from v.modules()
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- bulk operations ----------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def freeze(self) -> None:
+        for p in self.parameters():
+            p.frozen = True
+
+    def unfreeze(self) -> None:
+        for p in self.parameters():
+            p.frozen = False
+
+    @property
+    def is_frozen(self) -> bool:
+        params = list(self.parameters())
+        return bool(params) and all(p.frozen for p in params)
+
+    def num_params(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def num_active_params(self) -> int:
+        return sum(p.numel_active() for p in self.parameters())
+
+    def sparsity(self) -> float:
+        total = self.num_params()
+        if total == 0:
+            return 0.0
+        return 1.0 - self.num_active_params() / total
+
+    def state_bytes(self, bytes_per_param: int = 4) -> int:
+        """Approximate resident bytes for weights (dense storage)."""
+        return self.num_params() * bytes_per_param

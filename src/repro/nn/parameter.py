@@ -1,0 +1,75 @@
+"""Trainable parameter container with pruning-mask and freeze support."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A tensor with an accumulated gradient.
+
+    Supports the two mutations dynamism schemes need:
+
+    - ``mask``: a boolean array of the same shape; masked-out (False)
+      entries are forced to zero in both data and gradient (unstructured
+      magnitude pruning).
+    - ``frozen``: when True, gradients are neither accumulated nor
+      applied (layer freezing); optimizers skip frozen parameters.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.frozen = False
+        self.mask: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def numel_active(self) -> int:
+        """Number of unpruned elements."""
+        if self.mask is None:
+            return self.size
+        return int(self.mask.sum())
+
+    def accumulate_grad(self, g: np.ndarray) -> None:
+        if self.frozen:
+            return
+        if self.mask is not None:
+            g = g * self.mask
+        self.grad += g
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def apply_mask(self, mask: np.ndarray) -> None:
+        """Install a pruning mask and zero the pruned weights."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.data.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} != parameter shape {self.data.shape}"
+            )
+        self.mask = mask
+        self.data *= mask
+        self.grad *= mask
+
+    def sparsity(self) -> float:
+        """Fraction of pruned elements in [0, 1]."""
+        if self.mask is None:
+            return 0.0
+        return 1.0 - self.numel_active() / self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = []
+        if self.frozen:
+            flags.append("frozen")
+        if self.mask is not None:
+            flags.append(f"sparsity={self.sparsity():.2f}")
+        extra = f" [{', '.join(flags)}]" if flags else ""
+        return f"Parameter({self.name}, shape={self.shape}{extra})"

@@ -1,0 +1,145 @@
+"""Transformer block and GPT model with manual backprop.
+
+The GPT here is intentionally small (it runs on CPU/numpy) but
+*complete*: embeddings, pre-LN blocks with residuals, final LN, and a
+tied LM head.  Dynamism schemes hook into it through:
+
+- per-block ``freeze()`` / pruning masks on parameters,
+- the attention ``block_mask`` argument (dynamic sparse attention),
+- per-block MoE FFNs (``moe_every`` blocks),
+- an ``active_tokens`` mask threaded through blocks (early exit / MoD).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.embedding import Embedding
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+from repro.nn.moe import MoELayer, Router
+from repro.utils.rng import new_rng
+
+
+class TransformerBlock(Module):
+    """Pre-LN block: x + Attn(LN(x)); x + FFN(LN(x)).
+
+    ``ffn`` is either a dense :class:`MLP` or a :class:`MoELayer`.
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        moe: bool = False,
+        num_experts: int = 8,
+        router: Router | None = None,
+        expansion: int = 4,
+        seed: int | np.random.Generator = 0,
+        name: str = "block",
+    ) -> None:
+        rng = new_rng(seed)
+        self.hidden = hidden
+        self.ln1 = LayerNorm(hidden, name=f"{name}.ln1")
+        self.attn = MultiHeadAttention(hidden, num_heads, seed=rng, name=f"{name}.attn")
+        self.ln2 = LayerNorm(hidden, name=f"{name}.ln2")
+        if moe:
+            self.ffn: Module = MoELayer(
+                hidden, num_experts=num_experts, router=router, expansion=expansion, seed=rng
+            )
+        else:
+            self.ffn = MLP(hidden, expansion=expansion, seed=rng, name=f"{name}.mlp")
+        self.is_moe = moe
+
+    def forward(
+        self, x: np.ndarray, block_mask: np.ndarray | None = None, block_size: int = 16
+    ) -> np.ndarray:
+        a = self.attn(self.ln1(x), block_mask=block_mask, block_size=block_size)
+        x = x + a
+        f = self.ffn(self.ln2(x))
+        return x + f
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        df = self.ffn.backward(dy)
+        dy = dy + self.ln2.backward(df)
+        da = self.attn.backward(dy)
+        return dy + self.ln1.backward(da)
+
+
+class GPT(Module):
+    """Decoder-only GPT with a list of blocks.
+
+    ``forward`` returns logits; ``backward`` takes dlogits.  The block
+    list is public (``gpt.blocks``) because pipeline planning assigns
+    *blocks* (transformer layers) to workers.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden: int,
+        num_layers: int,
+        num_heads: int,
+        max_seq: int = 512,
+        moe_every: int = 0,
+        num_experts: int = 8,
+        expansion: int = 4,
+        seed: int = 0,
+    ) -> None:
+        rng = new_rng(seed)
+        self.vocab_size = vocab_size
+        self.hidden = hidden
+        self.num_layers = num_layers
+        self.tok_emb = Embedding(vocab_size, hidden, seed=rng, name="tok_emb")
+        self.pos_emb = Embedding(max_seq, hidden, seed=rng, name="pos_emb")
+        self.blocks = [
+            TransformerBlock(
+                hidden,
+                num_heads,
+                moe=(moe_every > 0 and (i + 1) % moe_every == 0),
+                num_experts=num_experts,
+                expansion=expansion,
+                seed=rng,
+                name=f"block{i}",
+            )
+            for i in range(num_layers)
+        ]
+        self.ln_f = LayerNorm(hidden, name="ln_f")
+        self.head = Linear(hidden, vocab_size, bias=False, seed=rng, name="head")
+
+    def forward(
+        self,
+        ids: np.ndarray,
+        block_masks: list[np.ndarray | None] | None = None,
+        block_size: int = 16,
+    ) -> np.ndarray:
+        B, T = ids.shape
+        pos = np.broadcast_to(np.arange(T), (B, T))
+        x = self.tok_emb(ids) + self.pos_emb(pos)
+        for i, blk in enumerate(self.blocks):
+            bm = block_masks[i] if block_masks is not None else None
+            x = blk(x, block_mask=bm, block_size=block_size)
+        x = self.ln_f(x)
+        return self.head(x)
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        dx = self.head.backward(dlogits)
+        dx = self.ln_f.backward(dx)
+        for blk in reversed(self.blocks):
+            dx = blk.backward(dx)
+        self.pos_emb.backward(dx)
+        self.tok_emb.backward(dx)
+
+    def hidden_states(self, ids: np.ndarray) -> list[np.ndarray]:
+        """Per-layer hidden states (used by early-exit confidence)."""
+        B, T = ids.shape
+        pos = np.broadcast_to(np.arange(T), (B, T))
+        x = self.tok_emb(ids) + self.pos_emb(pos)
+        states = []
+        for blk in self.blocks:
+            x = blk(x)
+            states.append(x)
+        return states

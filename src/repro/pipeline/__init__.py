@@ -1,0 +1,28 @@
+"""Pipeline-parallel execution substrate.
+
+- :mod:`plan` — assignment of contiguous layer ranges to pipeline
+  stages (what the balancers optimise and re-packing shrinks);
+- :mod:`schedules` — GPipe, 1F1B and zero-bubble (B/W split) orderings;
+- :mod:`engine` — dependency-exact discrete-event simulation of one
+  training iteration, yielding makespan, per-worker busy/idle time and
+  the bubble ratio (the paper's Fig. 1 metric);
+- :mod:`migration` — layer-movement plans between two pipeline plans
+  plus their communication cost (DynMo's "move layers while gradients
+  are computed" step).
+"""
+
+from repro.pipeline.plan import PipelinePlan
+from repro.pipeline.schedules import Schedule, OpKind, Op
+from repro.pipeline.engine import PipelineEngine, IterationResult
+from repro.pipeline.migration import MigrationPlan, diff_plans
+
+__all__ = [
+    "PipelinePlan",
+    "Schedule",
+    "OpKind",
+    "Op",
+    "PipelineEngine",
+    "IterationResult",
+    "MigrationPlan",
+    "diff_plans",
+]

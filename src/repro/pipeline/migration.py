@@ -1,0 +1,96 @@
+"""Layer migration between pipeline plans.
+
+When DynMo rebalances, layers move between adjacent (or, after
+re-packing, arbitrary) stages.  The migration ships weights, gradients
+and optimizer state; for pruned layers, CSR metadata (row offsets +
+column indices) rides along (section 5.2).  The paper couples the
+movement with back-propagation ("moving layers while the gradient
+calculation takes place"), which hides part of the cost — modelled
+with an ``overlap`` factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.collectives import CommCostModel
+from repro.model.cost import LayerState, ModelCost
+from repro.pipeline.plan import PipelinePlan
+
+
+@dataclass(frozen=True)
+class LayerTransfer:
+    layer: int
+    src_stage: int
+    dst_stage: int
+    nbytes: int
+
+
+@dataclass
+class MigrationPlan:
+    transfers: list[LayerTransfer] = field(default_factory=list)
+
+    @property
+    def num_layers_moved(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    def cost_seconds(
+        self,
+        comm: CommCostModel | None,
+        overlap: float = 0.7,
+        stage_rank_stride: int = 1,
+    ) -> float:
+        """Wall-clock cost of the migration.
+
+        ``overlap`` is the fraction hidden behind back-propagation
+        (paper section 3.3.1: migration is coupled with the pipeline's
+        backward communication, last to first layer).
+        """
+        if comm is None or not self.transfers:
+            return 0.0
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError("overlap must be in [0, 1]")
+        exposed = 0.0
+        for t in self.transfers:
+            exposed += comm.p2p_time(
+                t.src_stage * stage_rank_stride, t.dst_stage * stage_rank_stride, t.nbytes
+            )
+        return exposed * (1.0 - overlap)
+
+
+def layer_bytes(cost: ModelCost, layer: int, state: LayerState) -> int:
+    """Bytes shipped when migrating one layer (weights+grad+opt state)."""
+    spec = cost.specs[layer]
+    return (
+        cost.param_bytes(spec, state)
+        + cost.grad_bytes(spec, state)
+        + cost.optimizer_bytes(spec, state)
+    )
+
+
+def diff_plans(
+    old: PipelinePlan,
+    new: PipelinePlan,
+    cost: ModelCost,
+    states: list[LayerState],
+) -> MigrationPlan:
+    """Transfers required to morph ``old`` into ``new``.
+
+    Plans may have different stage counts (re-packing); a layer moves
+    when its stage index changes.
+    """
+    if old.num_layers != new.num_layers:
+        raise ValueError("plans cover different layer counts")
+    plan = MigrationPlan()
+    for layer in range(old.num_layers):
+        s_old = old.stage_of(layer)
+        s_new = new.stage_of(layer)
+        if s_old != s_new:
+            plan.transfers.append(
+                LayerTransfer(layer, s_old, s_new, layer_bytes(cost, layer, states[layer]))
+            )
+    return plan

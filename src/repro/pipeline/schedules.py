@@ -1,0 +1,77 @@
+"""Pipeline schedules: per-worker op orderings.
+
+Three schedules:
+
+- ``gpipe``    — all forwards, then all backwards.
+- ``1f1b``     — PipeDream-flush: stage s runs (S - s) warmup forwards,
+  then alternates 1 forward / 1 backward, then drains backwards.
+- ``zb``       — zero-bubble style (Qi et al.): like 1F1B but backward
+  is split into B (input-grad, on the critical path) and W
+  (weight-grad, freely schedulable fill work).  The engine fills idle
+  gaps with pending W ops, which is why Fig. 1 can attribute remaining
+  idleness to *dynamism* rather than schedule wind-up/down.
+
+An op is (kind, micro_batch).  Orders are produced per stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpKind(Enum):
+    F = "F"  # forward
+    B = "B"  # backward (full, or input-grad half under zb)
+    W = "W"  # weight-grad half (zb only)
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: OpKind
+    micro: int
+
+
+class Schedule:
+    """Factory for per-stage op sequences."""
+
+    VALID = ("gpipe", "1f1b", "zb")
+
+    def __init__(self, name: str) -> None:
+        if name not in self.VALID:
+            raise ValueError(f"unknown schedule {name!r}; choose from {self.VALID}")
+        self.name = name
+
+    def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[Op]:
+        if not 0 <= stage < num_stages:
+            raise ValueError("stage out of range")
+        if num_micro <= 0:
+            raise ValueError("need at least one micro-batch")
+        if self.name == "gpipe":
+            return self._gpipe(num_micro)
+        return self._one_f_one_b(stage, num_stages, num_micro, split=self.name == "zb")
+
+    @staticmethod
+    def _gpipe(m: int) -> list[Op]:
+        return [Op(OpKind.F, i) for i in range(m)] + [
+            Op(OpKind.B, i) for i in reversed(range(m))
+        ]
+
+    @staticmethod
+    def _one_f_one_b(stage: int, stages: int, m: int, split: bool) -> list[Op]:
+        warmup = min(stages - stage - 1, m)
+        ops: list[Op] = [Op(OpKind.F, i) for i in range(warmup)]
+        nf, nb = warmup, 0
+        # steady state: alternate F/B starting with one more F
+        while nf < m or nb < m:
+            if nf < m:
+                ops.append(Op(OpKind.F, nf))
+                nf += 1
+            if nb < m and (nf - nb >= warmup + 1 or nf == m):
+                ops.append(Op(OpKind.B, nb))
+                nb += 1
+        if split:
+            # W ops are emitted in B order; the engine schedules them
+            # flexibly into gaps (they have no cross-stage dependents).
+            ops = ops + [Op(OpKind.W, i) for i in range(m)]
+        return ops

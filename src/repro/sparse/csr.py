@@ -1,0 +1,106 @@
+"""Compressed Sparse Row matrix built from scratch on numpy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSRMatrix:
+    """CSR storage: ``indptr`` (rows+1), ``indices`` (nnz), ``data`` (nnz).
+
+    Rows are sorted by construction; column indices within a row are
+    kept in ascending order.  Supports the operations pruning needs:
+    construction from a dense/masked array, dense reconstruction,
+    SpMM with a dense right-hand side, transpose, and nbytes
+    accounting (used by the memory model to size layer transfers —
+    the paper ships row offsets and column indices alongside values
+    when migrating pruned layers).
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, shape):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = tuple(shape)
+        if len(self.shape) != 2:
+            raise ValueError("CSRMatrix is 2-D only")
+        if self.indptr.shape[0] != self.shape[0] + 1:
+            raise ValueError("indptr length must be rows + 1")
+        if self.indices.shape[0] != self.data.shape[0]:
+            raise ValueError("indices and data must have equal length")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= self.shape[1]):
+            raise ValueError("column index out of range")
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CSRMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        mask = np.abs(dense) > tol
+        return cls.from_mask(dense, mask)
+
+    @classmethod
+    def from_mask(cls, dense: np.ndarray, mask: np.ndarray) -> "CSRMatrix":
+        """Build CSR keeping exactly the True entries of ``mask``."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != dense.shape:
+            raise ValueError("mask shape mismatch")
+        rows, cols = np.nonzero(mask)
+        counts = np.bincount(rows, minlength=dense.shape[0])
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(indptr, cols, dense[rows, cols], dense.shape)
+
+    # -- properties ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def density(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def sparsity(self) -> float:
+        return 1.0 - self.density()
+
+    def nbytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
+        """Storage footprint: values + column indices + row offsets."""
+        return (
+            self.nnz * value_bytes
+            + self.nnz * index_bytes
+            + self.indptr.shape[0] * index_bytes
+        )
+
+    # -- ops -----------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    def matmul_dense(self, B: np.ndarray) -> np.ndarray:
+        """SpMM: self (m×k sparse) @ B (k×n dense) -> (m×n dense).
+
+        Vectorised row-gather kernel: expand row ids once, gather the
+        needed rows of B, scale by values, and segment-sum with
+        ``np.add.at`` — no per-row Python loop.
+        """
+        B = np.asarray(B)
+        if B.ndim != 2 or B.shape[0] != self.shape[1]:
+            raise ValueError(f"shape mismatch: {self.shape} @ {B.shape}")
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        contrib = self.data[:, None] * B[self.indices]
+        out = np.zeros((self.shape[0], B.shape[1]))
+        np.add.at(out, rows, contrib)
+        return out
+
+    def transpose(self) -> "CSRMatrix":
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        order = np.lexsort((rows, self.indices))
+        new_rows = self.indices[order]
+        counts = np.bincount(new_rows, minlength=self.shape[1])
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return CSRMatrix(indptr, rows[order], self.data[order], (self.shape[1], self.shape[0]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, sparsity={self.sparsity():.3f})"

@@ -1,0 +1,56 @@
+"""Checkpoint/restart for the re-pack-with-restart path (section 3.4.2).
+
+The paper notes re-packing can piggyback on a checkpoint restart: the
+new (smaller) communicator is created during restart and the model is
+re-sharded for free while reloading.  This module serialises the
+trainer-visible state — plan boundaries, layer states, iteration — to
+JSON and restores it onto a (possibly different-sized) worker set.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.model.cost import LayerState
+from repro.pipeline.plan import PipelinePlan
+
+
+def save_checkpoint(
+    path: str | Path,
+    iteration: int,
+    plan: PipelinePlan,
+    states: list[LayerState],
+) -> None:
+    payload = {
+        "iteration": iteration,
+        "boundaries": list(plan.boundaries),
+        "num_layers": plan.num_layers,
+        "states": [
+            {
+                "sparsity": s.sparsity,
+                "frozen": s.frozen,
+                "droppable_bwd": s.droppable_bwd,
+                "attn_density": s.attn_density,
+                "token_fraction": s.token_fraction,
+                "moe_multiplier": s.moe_multiplier,
+            }
+            for s in states
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_checkpoint(
+    path: str | Path, num_stages: int | None = None
+) -> tuple[int, PipelinePlan, list[LayerState]]:
+    """Restore; if ``num_stages`` differs from the saved plan, the model
+    is re-sharded uniformly onto the new worker count (the restart
+    creates the new communicator — resharding is free, per the paper).
+    """
+    payload = json.loads(Path(path).read_text())
+    states = [LayerState(**d) for d in payload["states"]]
+    plan = PipelinePlan(tuple(payload["boundaries"]), payload["num_layers"])
+    if num_stages is not None and num_stages != plan.num_stages:
+        plan = PipelinePlan.uniform(plan.num_layers, num_stages)
+    return payload["iteration"], plan, states

@@ -1,0 +1,46 @@
+"""Throughput accounting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ThroughputMeter:
+    """Accumulates (tokens, seconds) samples and summarises them."""
+
+    tokens: float = 0.0
+    seconds: float = 0.0
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, tokens: float, seconds: float) -> None:
+        if tokens < 0 or seconds < 0:
+            raise ValueError("tokens and seconds must be >= 0")
+        self.tokens += tokens
+        self.seconds += seconds
+        if seconds > 0:
+            self.samples.append(tokens / seconds)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.tokens / self.seconds if self.seconds > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self.samples, q))
+
+    def per_gpu(self, num_gpus: float) -> float:
+        """Throughput / GPU — the Fig. 4 performance-per-dollar proxy."""
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        return self.tokens_per_s / num_gpus
+
+
+def speedup(candidate_tps: float, baseline_tps: float) -> float:
+    """tokens/sec ratio; the paper's headline metric."""
+    if baseline_tps <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return candidate_tps / baseline_tps

@@ -1,0 +1,144 @@
+"""Training-trace recording and replay.
+
+Records per-iteration (plan boundaries, layer-state vector, makespan,
+bubble) into JSONL so runs can be inspected, diffed and *replayed*
+through the engine under different settings (another schedule, another
+topology) without re-running the dynamism processes.  The paper's
+profiling-driven design makes this natural: the trace is exactly the
+information DynMo's profiler sees.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.cost import LayerState
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.plan import PipelinePlan
+
+
+def _state_to_dict(s: LayerState) -> dict:
+    return {
+        "sparsity": s.sparsity,
+        "frozen": s.frozen,
+        "droppable_bwd": s.droppable_bwd,
+        "attn_density": s.attn_density,
+        "token_fraction": s.token_fraction,
+        "moe_multiplier": s.moe_multiplier,
+    }
+
+
+@dataclass
+class TraceRecord:
+    iteration: int
+    boundaries: tuple[int, ...]
+    states: list[LayerState]
+    makespan: float = 0.0
+    bubble: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "iteration": self.iteration,
+                "boundaries": list(self.boundaries),
+                "states": [_state_to_dict(s) for s in self.states],
+                "makespan": self.makespan,
+                "bubble": self.bubble,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        d = json.loads(line)
+        return cls(
+            iteration=d["iteration"],
+            boundaries=tuple(d["boundaries"]),
+            states=[LayerState(**sd) for sd in d["states"]],
+            makespan=d.get("makespan", 0.0),
+            bubble=d.get("bubble", 0.0),
+        )
+
+
+@dataclass
+class TrainingTrace:
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        with open(path, "w") as fh:
+            for r in self.records:
+                fh.write(r.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainingTrace":
+        trace = cls()
+        for line in Path(path).read_text().splitlines():
+            if line.strip():
+                trace.append(TraceRecord.from_json(line))
+        return trace
+
+    # -- analytics -------------------------------------------------------
+    def bubble_series(self) -> np.ndarray:
+        return np.array([r.bubble for r in self.records])
+
+    def plan_changes(self) -> int:
+        """Number of iterations whose plan differs from the previous."""
+        changes = 0
+        for a, b in zip(self.records, self.records[1:]):
+            if a.boundaries != b.boundaries:
+                changes += 1
+        return changes
+
+    def replay(self, engine: PipelineEngine) -> list[float]:
+        """Re-simulate every record under a (possibly different) engine.
+
+        Returns per-record makespans — e.g. replay a 1F1B-recorded trace
+        under the zero-bubble schedule, or on a different topology.
+        """
+        num_layers = self.records[0].boundaries[-1] if self.records else 0
+        out = []
+        for r in self.records:
+            plan = PipelinePlan(r.boundaries, num_layers)
+            res = engine.run_iteration(plan, r.states)
+            out.append(res.makespan)
+        return out
+
+
+class TraceRecorder:
+    """Hook object: call ``record`` once per iteration inside a loop."""
+
+    def __init__(self, every: int = 1) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.every = every
+        self.trace = TrainingTrace()
+
+    def record(
+        self,
+        k: int,
+        plan: PipelinePlan,
+        states: list[LayerState],
+        makespan: float,
+        bubble: float,
+    ) -> None:
+        if k % self.every != 0:
+            return
+        self.trace.append(
+            TraceRecord(
+                iteration=k,
+                boundaries=plan.boundaries,
+                states=[s.copy() for s in states],
+                makespan=makespan,
+                bubble=bubble,
+            )
+        )

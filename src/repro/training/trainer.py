@@ -1,0 +1,200 @@
+"""The end-to-end training loop (simulated time).
+
+Per iteration:
+
+1. the dynamism scheme advances (maybe mutating layer states);
+2. if due, DynMo profiles, rebalances, re-packs and migrates
+   (overhead added to the iteration's wall time);
+3. the pipeline engine computes the iteration's makespan, busy/idle
+   times and bubble ratio under the current plan;
+4. throughput and elasticity accounting update.
+
+Iteration results are memoised on (plan, state-fingerprint): schemes
+that only change every few hundred iterations (pruning, freezing,
+early exit) re-simulate only when something changed, which keeps a
+10,000-iteration run fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.collectives import CommCostModel
+from repro.cluster.job_manager import ElasticJobManager
+from repro.core.controller import DynMoController
+from repro.dynamics.base import DynamismScheme
+from repro.model.cost import LayerState, ModelCost
+from repro.pipeline.engine import IterationResult, PipelineEngine
+from repro.pipeline.plan import PipelinePlan
+from repro.training.config import TrainingConfig
+
+
+def states_fingerprint(states: list[LayerState]) -> bytes:
+    """Stable hash of the dynamism state vector (for memoisation)."""
+    arr = np.array(
+        [
+            (
+                s.sparsity,
+                1.0 if s.frozen else 0.0,
+                1.0 if s.droppable_bwd else 0.0,
+                s.attn_density,
+                s.token_fraction,
+                s.moe_multiplier,
+            )
+            for s in states
+        ]
+    )
+    return hashlib.blake2b(arr.tobytes(), digest_size=16).digest()
+
+
+@dataclass
+class TrainingResult:
+    total_time_s: float
+    total_tokens: float
+    iterations: int
+    bubble_history: list[tuple[int, float]] = field(default_factory=list)
+    makespan_history: list[tuple[int, float]] = field(default_factory=list)
+    stage_count_history: list[tuple[int, int]] = field(default_factory=list)
+    overhead_s: float = 0.0
+    layers_moved: int = 0
+    final_plan: PipelinePlan | None = None
+    average_gpus: float = 0.0
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.total_tokens / self.total_time_s if self.total_time_s > 0 else 0.0
+
+    @property
+    def mean_bubble_ratio(self) -> float:
+        if not self.bubble_history:
+            return 0.0
+        return float(np.mean([b for _, b in self.bubble_history]))
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_s / self.total_time_s if self.total_time_s > 0 else 0.0
+
+
+class Trainer:
+    def __init__(
+        self,
+        cfg: TrainingConfig,
+        cost: ModelCost,
+        scheme: DynamismScheme,
+        comm: CommCostModel | None = None,
+        controller: DynMoController | None = None,
+        initial_plan: PipelinePlan | None = None,
+        job_manager: ElasticJobManager | None = None,
+        job_name: str = "train",
+        trace_recorder=None,
+    ) -> None:
+        self.cfg = cfg
+        self.cost = cost
+        self.scheme = scheme
+        self.comm = comm
+        self.controller = controller
+        self.engine = PipelineEngine(
+            cost,
+            comm,
+            schedule=cfg.schedule,
+            num_micro=cfg.micro_batches,
+            dp_ways=cfg.dp_ways,
+        )
+        n_layers = len(cost.specs)
+        self.plan = initial_plan or PipelinePlan.uniform(n_layers, cfg.pp_stages)
+        self.states = scheme.initial_states()
+        self.job_manager = job_manager
+        self.job_name = job_name
+        self.trace_recorder = trace_recorder
+        if job_manager is not None:
+            job_manager.request(job_name, cfg.total_gpus, iteration=0)
+        self._cache: dict[tuple, IterationResult] = {}
+
+    # -- internals ---------------------------------------------------------
+    def _iteration_result(self) -> IterationResult:
+        key = (self.plan.boundaries, states_fingerprint(self.states))
+        if key not in self._cache:
+            if len(self._cache) > 512:
+                self._cache.clear()
+            self._cache[key] = self.engine.run_iteration(self.plan, self.states)
+        return self._cache[key]
+
+    def tokens_per_iteration(self) -> float:
+        return float(
+            self.cfg.micro_batch
+            * self.cfg.seq_len
+            * self.cfg.micro_batches
+            * self.cfg.dp_ways
+        )
+
+    # -- main loop ----------------------------------------------------------
+    def run(self, iterations: int | None = None) -> TrainingResult:
+        iters = iterations if iterations is not None else self.cfg.iterations
+        total_time = 0.0
+        overhead = 0.0
+        moved = 0
+        bubbles: list[tuple[int, float]] = []
+        makespans: list[tuple[int, float]] = []
+        stages: list[tuple[int, int]] = []
+        last_iter_time = 0.0
+
+        # baselines like Egeria carry their own per-iteration cost
+        # (CPU reference-model maintenance that grows with depth)
+        scheme_overhead = 0.0
+        if hasattr(self.scheme, "per_iteration_overhead_s"):
+            scheme_overhead = float(self.scheme.per_iteration_overhead_s())
+
+        for k in range(iters):
+            self.scheme.step(k, self.states)
+            total_time += scheme_overhead
+
+            if self.controller is not None and self.controller.should_invoke(
+                k, self.scheme.rebalance_every
+            ):
+                decision = self.controller.rebalance(
+                    k, self.plan, self.states, iter_time_hint=last_iter_time
+                )
+                if decision.repacked and self.job_manager is not None:
+                    released = self.plan.num_stages - decision.plan.num_stages
+                    if released > 0:
+                        self.job_manager.release(
+                            self.job_name, released * self.cfg.dp_ways, iteration=k
+                        )
+                self.plan = decision.plan
+                overhead += decision.overhead_s
+                total_time += decision.overhead_s
+                moved += decision.layers_moved
+
+            res = self._iteration_result()
+            last_iter_time = res.makespan
+            total_time += res.makespan
+            if self.trace_recorder is not None:
+                self.trace_recorder.record(
+                    k, self.plan, self.states, res.makespan, res.bubble_ratio()
+                )
+            if k % self.cfg.record_every == 0 or k == iters - 1:
+                bubbles.append((k, res.bubble_ratio()))
+                makespans.append((k, res.makespan))
+                stages.append((k, self.plan.num_stages))
+
+        tokens = self.tokens_per_iteration() * iters
+        avg_gpus = (
+            self.job_manager.average_gpus(self.job_name, iters)
+            if self.job_manager is not None
+            else float(self.cfg.total_gpus)
+        )
+        return TrainingResult(
+            total_time_s=total_time,
+            total_tokens=tokens,
+            iterations=iters,
+            bubble_history=bubbles,
+            makespan_history=makespans,
+            stage_count_history=stages,
+            overhead_s=overhead,
+            layers_moved=moved,
+            final_plan=self.plan,
+            average_gpus=avg_gpus,
+        )

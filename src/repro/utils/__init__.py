@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG, timers, validation helpers."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.timers import Timer, TimerSet
+from repro.utils.validation import check_positive, check_prob, check_nonneg
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "Timer",
+    "TimerSet",
+    "check_positive",
+    "check_prob",
+    "check_nonneg",
+]

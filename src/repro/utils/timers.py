@@ -1,0 +1,77 @@
+"""Megatron-style named timers.
+
+DynMo's profiling step extends the built-in timers of Megatron-LM
+(paper section 4).  This module provides the equivalent facility: a set
+of named, start/stop wall-clock timers with elapsed aggregation.  The
+simulator mostly uses *virtual* time, but overhead accounting of the
+balancing algorithms themselves (a real Python computation) uses these.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A single accumulating timer."""
+
+    name: str
+    elapsed_s: float = 0.0
+    count: int = 0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError(f"timer {self.name!r} already started")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError(f"timer {self.name!r} not started")
+        dt = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed_s += dt
+        self.count += 1
+        return dt
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def reset(self) -> None:
+        self.elapsed_s = 0.0
+        self.count = 0
+        self._started_at = None
+
+
+class TimerSet:
+    """A collection of named timers, created on first use."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    def __call__(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._timers)
+
+    def elapsed(self, name: str) -> float:
+        return self._timers[name].elapsed_s if name in self._timers else 0.0
+
+    def total(self) -> float:
+        return sum(t.elapsed_s for t in self._timers.values())
+
+    def reset(self) -> None:
+        for t in self._timers.values():
+            t.reset()
+
+    def summary(self) -> dict[str, float]:
+        return {n: t.elapsed_s for n, t in sorted(self._timers.items())}

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig3_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.scenario == ["pruning"]
+        assert args.layers == [24]
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--scenario", "quantum"])
+
+    def test_gantt_flags(self):
+        args = build_parser().parse_args(
+            ["gantt", "--balanced", "--schedule", "1f1b", "--micro", "4"]
+        )
+        assert args.balanced and args.schedule == "1f1b" and args.micro == 4
+
+
+class TestCommands:
+    def test_fig3_runs(self, capsys):
+        rc = main(
+            ["fig3", "--scenario", "freezing", "--layers", "24",
+             "--stages", "4", "--iterations", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "freezing" in out
+
+    def test_fig1_runs(self, capsys):
+        rc = main(
+            ["fig1", "--scenario", "early_exit", "--stages", "4",
+             "--iterations", "30"]
+        )
+        assert rc == 0
+        assert "idleness" in capsys.readouterr().out
+
+    def test_overhead_runs(self, capsys):
+        rc = main(
+            ["overhead", "--scenario", "freezing", "--iterations", "40",
+             "--stages", "4"]
+        )
+        assert rc == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_gantt_runs(self, capsys):
+        rc = main(
+            ["gantt", "--scenario", "early_exit", "--stages", "4",
+             "--micro", "4", "--width", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "w0" in out
+
+    def test_gantt_balanced_runs(self, capsys):
+        rc = main(
+            ["gantt", "--scenario", "freezing", "--stages", "4",
+             "--micro", "4", "--width", "40", "--balanced"]
+        )
+        assert rc == 0
+        assert "balanced" in capsys.readouterr().out
+
+    def test_fig4_runs(self, capsys):
+        rc = main(
+            ["fig4", "--scenario", "pruning", "--iterations", "60",
+             "--gpus", "4", "2", "--stages", "4"]
+        )
+        assert rc == 0
+        assert "re-packing" in capsys.readouterr().out

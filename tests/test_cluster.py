@@ -1,0 +1,175 @@
+"""Tests for topology, collectives, memory tracker, job manager."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CommCostModel,
+    ElasticJobManager,
+    MemoryTracker,
+    OutOfMemoryError,
+    h100_cluster,
+    h100_node,
+)
+from repro.cluster.topology import IB_NDR200x4, NVLINK4, ClusterTopology, Link
+
+
+class TestTopology:
+    def test_counts(self):
+        topo = h100_cluster(3, 4)
+        assert topo.num_nodes == 3
+        assert topo.num_gpus == 12
+        assert topo.gpus_per_node == 4
+
+    def test_node_of(self):
+        topo = h100_cluster(2, 4)
+        assert topo.node_of(0) == 0
+        assert topo.node_of(3) == 0
+        assert topo.node_of(4) == 1
+        with pytest.raises(ValueError):
+            topo.node_of(8)
+
+    def test_link_between(self):
+        topo = h100_cluster(2, 4)
+        assert topo.link_between(0, 1) is NVLINK4
+        assert topo.link_between(3, 4) is IB_NDR200x4
+        assert topo.link_between(2, 2).bandwidth_Bps == float("inf")
+
+    def test_link_time(self):
+        link = Link("x", latency_s=1e-6, bandwidth_Bps=1e9)
+        assert link.time(1e9) == pytest.approx(1.000001)
+        with pytest.raises(ValueError):
+            link.time(-1)
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(nodes=[])
+
+    def test_nvlink_faster_than_ib(self):
+        assert NVLINK4.time(1e9) < IB_NDR200x4.time(1e9)
+
+
+class TestCollectives:
+    def test_p2p_self_zero(self, comm):
+        assert comm.p2p_time(1, 1, 1e6) == 0.0
+
+    def test_p2p_intra_faster_than_inter(self, comm):
+        assert comm.p2p_time(0, 1, 1e8) < comm.p2p_time(0, 4, 1e8)
+
+    def test_allreduce_zero_cases(self, comm):
+        assert comm.allreduce_time([0], 1e6) == 0.0
+        assert comm.allreduce_time([0, 1], 0) == 0.0
+
+    def test_allreduce_scales_with_bytes(self, comm):
+        t1 = comm.allreduce_time([0, 1, 2, 3], 1e6)
+        t2 = comm.allreduce_time([0, 1, 2, 3], 1e8)
+        assert t2 > t1
+
+    def test_allreduce_inter_node_slower(self, comm):
+        intra = comm.allreduce_time([0, 1, 2, 3], 1e8)
+        inter = comm.allreduce_time([0, 1, 4, 5], 1e8)
+        assert inter > intra
+
+    def test_gather_scatter_symmetry(self, comm):
+        ranks = [0, 1, 2, 3]
+        assert comm.gather_time(0, ranks, 1e6) == comm.scatter_time(0, ranks, 1e6)
+
+    def test_all_to_all_grows_with_group(self, comm):
+        t4 = comm.all_to_all_time([0, 1, 2, 3], 1e6)
+        t8 = comm.all_to_all_time(list(range(8)), 1e6)
+        assert t8 > t4
+
+    def test_ring_allreduce_formula(self, small_cluster):
+        comm = CommCostModel(small_cluster)
+        n, nbytes = 4, 1e8
+        link = NVLINK4
+        expected = 2 * (n - 1) * link.latency_s + 2 * (n - 1) / n * nbytes / link.bandwidth_Bps
+        assert comm.allreduce_time([0, 1, 2, 3], nbytes) == pytest.approx(expected)
+
+
+class TestMemoryTracker:
+    def test_allocate_free(self):
+        mt = MemoryTracker(100, 2)
+        mt.allocate(0, 60)
+        assert mt.usage[0] == 60
+        assert mt.headroom(0) == 40
+        mt.free(0, 20)
+        assert mt.usage[0] == 40
+        assert mt.utilization(0) == pytest.approx(0.4)
+
+    def test_oom(self):
+        mt = MemoryTracker(100, 1)
+        mt.allocate(0, 90)
+        with pytest.raises(OutOfMemoryError):
+            mt.allocate(0, 20)
+
+    def test_fits(self):
+        mt = MemoryTracker(100, 1)
+        assert mt.fits(0, 100)
+        mt.allocate(0, 50)
+        assert not mt.fits(0, 51)
+
+    def test_over_free_raises(self):
+        mt = MemoryTracker(100, 1)
+        with pytest.raises(ValueError):
+            mt.free(0, 1)
+
+    def test_reset(self):
+        mt = MemoryTracker(10, 2)
+        mt.allocate(1, 5)
+        mt.reset()
+        assert mt.usage == [0, 0]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(0, 1)
+        with pytest.raises(ValueError):
+            MemoryTracker(10, 0)
+
+
+class TestJobManager:
+    def test_request_release_cycle(self):
+        jm = ElasticJobManager(total_gpus=16)
+        jm.request("a", 8, iteration=0)
+        assert jm.free_gpus == 8
+        jm.release("a", 2, iteration=100)
+        assert jm.free_gpus == 10
+        assert jm.claims["a"] == 6
+        assert len(jm.events) == 1
+
+    def test_over_request_raises(self):
+        jm = ElasticJobManager(total_gpus=4)
+        with pytest.raises(RuntimeError):
+            jm.request("a", 5)
+
+    def test_over_release_raises(self):
+        jm = ElasticJobManager(total_gpus=4)
+        jm.request("a", 2)
+        with pytest.raises(ValueError):
+            jm.release("a", 3, iteration=1)
+
+    def test_average_gpus(self):
+        """8 GPUs for 500 iters then 4 for 500 -> average 6."""
+        jm = ElasticJobManager(total_gpus=8)
+        jm.request("a", 8, iteration=0)
+        jm.release("a", 4, iteration=500)
+        assert jm.average_gpus("a", 1000) == pytest.approx(6.0)
+
+    def test_average_matches_paper_example(self):
+        """Fig. 4: pruning goes 8 -> avg 5.8 over 10k iters (repack
+        at 2300/6700/8500 to 6/4/2)."""
+        jm = ElasticJobManager(total_gpus=8)
+        jm.request("a", 8, iteration=0)
+        jm.release("a", 2, iteration=2300)
+        jm.release("a", 2, iteration=6700)
+        jm.release("a", 2, iteration=8500)
+        avg = jm.average_gpus("a", 10_000)
+        # 8x2300 + 6x4400 + 4x1800 + 2x1500 = 55000 GPU-iters -> 5.5
+        # (the paper reports 5.8 for its measured re-pack points)
+        assert avg == pytest.approx(5.5, abs=0.01)
+
+    def test_time_travel_raises(self):
+        jm = ElasticJobManager(total_gpus=8)
+        jm.request("a", 4, iteration=10)
+        with pytest.raises(ValueError):
+            jm.release("a", 1, iteration=5)

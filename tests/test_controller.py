@@ -1,0 +1,155 @@
+"""Tests for the DynMo controller and profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynMoConfig, DynMoController, PipelineProfiler
+from repro.model.cost import LayerState, fresh_states
+from repro.pipeline import PipelinePlan
+
+
+class TestProfiler:
+    def test_report_shapes(self, gpt24_cost, gpt24_states):
+        plan = PipelinePlan.uniform(26, 4)
+        rep = PipelineProfiler(gpt24_cost).profile(plan, gpt24_states, iteration=7)
+        assert rep.layer_fwd_s.shape == (26,)
+        assert rep.layer_bwd_s.shape == (26,)
+        assert rep.worker_memory.shape == (4,)
+        assert rep.profiled_at_iter == 7
+        assert (rep.layer_total_s == rep.layer_fwd_s + rep.layer_bwd_s).all()
+
+    def test_weight_kinds(self, gpt24_cost, gpt24_states):
+        plan = PipelinePlan.uniform(26, 4)
+        rep = PipelineProfiler(gpt24_cost).profile(plan, gpt24_states)
+        assert (rep.weights("time") > 0).any()
+        assert (rep.weights("param") > 0).any()
+        with pytest.raises(ValueError):
+            rep.weights("flops")
+
+    def test_noise_perturbs(self, gpt24_cost, gpt24_states):
+        plan = PipelinePlan.uniform(26, 4)
+        clean = PipelineProfiler(gpt24_cost, noise=0.0).profile(plan, gpt24_states)
+        noisy = PipelineProfiler(gpt24_cost, noise=0.1, seed=1).profile(
+            plan, gpt24_states
+        )
+        assert not np.allclose(clean.layer_fwd_s[1:-1], noisy.layer_fwd_s[1:-1])
+
+    def test_pruned_params_reduced(self, gpt24_cost):
+        states = fresh_states(26)
+        states[1].sparsity = 0.9
+        plan = PipelinePlan.uniform(26, 4)
+        rep = PipelineProfiler(gpt24_cost).profile(plan, states)
+        assert rep.layer_params[1] == pytest.approx(
+            gpt24_cost.specs[1].param_count * 0.1
+        )
+
+    def test_negative_noise_raises(self, gpt24_cost):
+        with pytest.raises(ValueError):
+            PipelineProfiler(gpt24_cost, noise=-0.1)
+
+
+class TestDynMoConfig:
+    def test_defaults_valid(self):
+        DynMoConfig()
+
+    def test_invalid_balancer(self):
+        with pytest.raises(ValueError):
+            DynMoConfig(balancer="magic")
+
+    def test_invalid_weight_by(self):
+        with pytest.raises(ValueError):
+            DynMoConfig(weight_by="flops")
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            DynMoConfig(migration_overlap=2.0)
+
+
+class TestController:
+    def _controller(self, cost, comm=None, **kw):
+        return DynMoController(cost, comm, DynMoConfig(**kw))
+
+    def test_should_invoke_cadence(self, gpt24_cost):
+        ctl = self._controller(gpt24_cost)
+        assert ctl.should_invoke(0, scheme_every=100)
+        assert not ctl.should_invoke(50, scheme_every=100)
+        assert ctl.should_invoke(100, scheme_every=100)
+
+    def test_config_override_cadence(self, gpt24_cost):
+        ctl = self._controller(gpt24_cost, rebalance_every=10)
+        assert ctl.should_invoke(10, scheme_every=1000)
+        assert not ctl.should_invoke(5, scheme_every=1000)
+
+    def test_rebalances_skewed_model(self, gpt24_cost, comm):
+        """Front-frozen model: controller must move layers backward."""
+        states = fresh_states(26)
+        for i in range(1, 13):
+            states[i].frozen = True
+            states[i].droppable_bwd = True
+        plan = PipelinePlan.uniform(26, 4)
+        ctl = self._controller(gpt24_cost, comm, balancer="partition")
+        decision = ctl.rebalance(0, plan, states, iter_time_hint=0.1)
+        assert decision.rebalanced
+        assert decision.layers_moved > 0
+        assert decision.plan != plan
+        w = ctl.profiler.profile(decision.plan, states).weights("time")
+        assert decision.plan.stage_loads(w).max() <= plan.stage_loads(w).max()
+
+    def test_balanced_model_no_move(self, gpt24_cost, comm):
+        states = fresh_states(26)
+        plan = PipelinePlan.uniform(26, 2)
+        ctl = self._controller(gpt24_cost, comm, balancer="diffusion")
+        decision = ctl.rebalance(0, plan, states, iter_time_hint=0.1)
+        # uniform dense split over 2 stages is near-balanced; diffusion
+        # may make at most a marginal improvement without repacking
+        assert decision.plan.num_stages == 2
+
+    def test_overhead_accounted(self, gpt24_cost, comm):
+        states = fresh_states(26)
+        for i in range(1, 13):
+            states[i].frozen = True
+        ctl = self._controller(gpt24_cost, comm)
+        d = ctl.rebalance(0, PipelinePlan.uniform(26, 4), states, iter_time_hint=1.0)
+        assert d.overhead_s > 0
+        assert ctl.overhead.total_s > 0
+        assert ctl.overhead.balance_s > 0
+        assert ctl.overhead.profile_s == pytest.approx(
+            ctl.config.profile_overhead_frac * 1.0
+        )
+        assert set(ctl.overhead.as_dict()) == {
+            "profile_s",
+            "balance_s",
+            "migrate_s",
+            "total_s",
+        }
+
+    def test_repack_shrinks_plan(self, gpt24_cost, comm):
+        """Heavily pruned model on generous memory: repack must fire."""
+        states = fresh_states(26)
+        for s in states[1:-1]:
+            s.sparsity = 0.95
+        plan = PipelinePlan.uniform(26, 8)
+        rep = PipelineProfiler(gpt24_cost).profile(plan, states)
+        capacity = float(rep.worker_memory.sum())  # everything fits on one
+        ctl = self._controller(
+            gpt24_cost,
+            comm,
+            repack=True,
+            repack_target_workers=2,
+            memory_capacity_bytes=capacity,
+        )
+        # first invocation on the dense model sets the compute baseline
+        d0 = ctl.rebalance(0, plan, fresh_states(26), iter_time_hint=0.1)
+        assert not d0.repacked  # dense model has not shrunk yet
+        d = ctl.rebalance(1, plan, states, iter_time_hint=0.1)
+        assert d.repacked
+        assert d.plan.num_stages < 8
+        assert d.released_workers
+
+    def test_num_rebalances_counter(self, gpt24_cost):
+        ctl = self._controller(gpt24_cost)
+        states = fresh_states(26)
+        plan = PipelinePlan.uniform(26, 2)
+        ctl.rebalance(0, plan, states)
+        ctl.rebalance(1, plan, states)
+        assert ctl.num_rebalances == 2

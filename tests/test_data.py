@@ -1,0 +1,97 @@
+"""Tests for the synthetic corpus generators."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GPT, Adam, softmax_cross_entropy
+from repro.nn.data import MarkovCorpus, ZipfCorpus, lm_batches, zipf_distribution
+
+
+class TestZipf:
+    def test_distribution_normalised_and_decreasing(self):
+        p = zipf_distribution(100)
+        assert p.sum() == pytest.approx(1.0)
+        assert (np.diff(p) <= 0).all()
+
+    def test_exponent_zero_uniform(self):
+        p = zipf_distribution(10, exponent=0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_distribution(0)
+        with pytest.raises(ValueError):
+            zipf_distribution(10, exponent=-1)
+
+    def test_corpus_shape_and_range(self):
+        c = ZipfCorpus(vocab_size=50, seed=0)
+        ids = c.sample(4, 16)
+        assert ids.shape == (4, 16)
+        assert ids.min() >= 0 and ids.max() < 50
+
+    def test_corpus_skew(self):
+        """Low-rank tokens appear much more often than high-rank ones."""
+        c = ZipfCorpus(vocab_size=100, seed=0)
+        ids = c.sample(64, 64)
+        counts = np.bincount(ids.reshape(-1), minlength=100)
+        assert counts[:10].sum() > counts[50:].sum()
+
+    def test_reproducible(self):
+        a = ZipfCorpus(30, seed=5).sample(2, 8)
+        b = ZipfCorpus(30, seed=5).sample(2, 8)
+        assert np.array_equal(a, b)
+
+
+class TestMarkov:
+    def test_transition_stochastic(self):
+        c = MarkovCorpus(vocab_size=20, seed=0)
+        assert np.allclose(c.transition.sum(axis=1), 1.0)
+        assert (c.transition >= 0).all()
+
+    def test_locality_band_preferred(self):
+        c = MarkovCorpus(vocab_size=40, band=4, locality=0.9, seed=0)
+        # successor within the band far more likely than outside
+        row = c.transition[0]
+        assert row[1:5].sum() > 0.8
+
+    def test_sample_shape(self):
+        ids = MarkovCorpus(vocab_size=16, seed=1).sample(3, 10)
+        assert ids.shape == (3, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovCorpus(vocab_size=8, locality=1.5)
+        with pytest.raises(ValueError):
+            MarkovCorpus(vocab_size=8, band=0)
+
+    def test_markov_structure_learnable(self):
+        """A tiny GPT on Markov data beats the unigram entropy floor —
+        i.e. the corpus carries real sequential signal."""
+        corpus = MarkovCorpus(vocab_size=32, band=2, locality=0.95, seed=0)
+        gpt = GPT(vocab_size=32, hidden=32, num_layers=2, num_heads=2, max_seq=16, seed=0)
+        opt = Adam(gpt.parameters(), lr=5e-3)
+        losses = []
+        for x, y in lm_batches(corpus, batch=8, seq_len=12, num_batches=40):
+            logits = gpt(x)
+            loss, d = softmax_cross_entropy(logits, y)
+            losses.append(loss)
+            gpt.zero_grad()
+            gpt.backward(d)
+            opt.step()
+        # locality 0.95/band 2 has conditional entropy ~ 0.5 nats;
+        # unigram entropy is ~ ln(32) ~ 3.4 — training must close most
+        # of that gap from the initial uniform ~3.4
+        assert losses[-1] < 2.0
+        assert losses[-1] < losses[0] * 0.6
+
+
+class TestBatches:
+    def test_next_token_alignment(self):
+        c = ZipfCorpus(vocab_size=10, seed=0)
+        for x, y in lm_batches(c, batch=2, seq_len=5, num_batches=3):
+            assert x.shape == y.shape == (2, 5)
+
+    def test_validation(self):
+        c = ZipfCorpus(vocab_size=10)
+        with pytest.raises(ValueError):
+            list(lm_batches(c, 1, 4, 0))

@@ -1,0 +1,168 @@
+"""Cross-module integration tests: the full DynMo story end to end."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.megatron import megatron_uniform_plan
+from repro.core import (
+    DPExactBalancer,
+    DynMoConfig,
+    DynMoController,
+    PipelineProfiler,
+)
+from repro.dynamics import (
+    EarlyExitDynamism,
+    FreezingDynamism,
+    MoEDynamism,
+    PruningDynamism,
+)
+from repro.dynamics.pruning import GradualPruningSchedule
+from repro.model.config import GPTConfig
+from repro.model.cost import ModelCost, build_layer_specs
+from repro.pipeline import PipelineEngine, PipelinePlan
+from repro.training import Trainer, TrainingConfig
+
+
+class TestBalancedVsOracle:
+    """DynMo's online plans should track the per-iteration oracle."""
+
+    def test_partition_tracks_oracle_under_pruning(self, gpt24_cost, gpt24_specs, comm):
+        sched = GradualPruningSchedule(start_iter=5, end_iter=45, prune_every=10)
+        scheme = PruningDynamism(gpt24_specs, schedule=sched, seed=0)
+        states = scheme.initial_states()
+        plan = megatron_uniform_plan(gpt24_specs, 8)
+        ctl = DynMoController(gpt24_cost, comm, DynMoConfig(balancer="partition"))
+        profiler = PipelineProfiler(gpt24_cost)
+        oracle = DPExactBalancer()
+        for k in range(50):
+            scheme.step(k, states)
+            if k % 10 == 0:
+                plan = ctl.rebalance(k, plan, states).plan
+                w = profiler.profile(plan, states).weights("time")
+                best = oracle.rebalance(PipelinePlan.uniform(26, 8), w)
+                got = plan.stage_loads(w).max()
+                assert got <= best.loads_after.max() * 1.001
+
+    def test_every_scenario_dynmo_not_worse(self, comm):
+        """Across dynamism types, DynMo never ends up slower than the
+        static plan it started from (net of overhead)."""
+        specs = build_layer_specs(
+            GPTConfig("int", num_layers=16, hidden=512, num_heads=8, seq_len=512, vocab_size=8192)
+        )
+        cost = ModelCost(specs)
+        factories = [
+            lambda: FreezingDynamism(specs, freeze_every=10, tau0=15, seed=0),
+            lambda: EarlyExitDynamism(specs, ramp_iters=30, seed=0),
+        ]
+        for factory in factories:
+            cfg = TrainingConfig(iterations=60, seq_len=512, pp_stages=4, dp_ways=1)
+            static = Trainer(cfg, cost, factory(), comm=comm).run()
+            ctl = DynMoController(cost, comm, DynMoConfig(balancer="partition"))
+            dyn = Trainer(cfg, cost, factory(), comm=comm, controller=ctl).run()
+            assert dyn.tokens_per_s >= static.tokens_per_s * 0.99
+
+
+class TestMoEPilotIntegration:
+    def test_pilot_router_feeds_dynamism(self):
+        """MoEDynamism in 'pilot' mode consumes the numpy MoE layer's
+        real token counts."""
+        from repro.nn import MoELayer
+
+        cfg = GPTConfig("m", num_layers=4, hidden=64, num_heads=4, seq_len=32,
+                        vocab_size=256, moe_every=1, num_experts=4)
+        specs = build_layer_specs(cfg)
+        scheme = MoEDynamism(specs, router="pilot", seed=0)
+        layers = {}
+        rng = np.random.default_rng(0)
+        for i in scheme.moe_layers:
+            layer = MoELayer(64, num_experts=4, seed=i)
+            layer(rng.normal(size=(2, 32, 64)))  # populate routing
+            layers[i] = layer
+        scheme.attach_pilot(layers)
+        states = scheme.initial_states()
+        scheme.step(0, states)
+        mults = [states[i].moe_multiplier for i in scheme.moe_layers]
+        assert all(m >= 1.0 for m in mults)
+        assert max(mults) > 1.0  # real routing is imbalanced
+
+    def test_pilot_counts_match_layer(self):
+        from repro.nn import MoELayer
+
+        cfg = GPTConfig("m", num_layers=2, hidden=32, num_heads=4, seq_len=16,
+                        vocab_size=64, moe_every=1, num_experts=4)
+        specs = build_layer_specs(cfg)
+        scheme = MoEDynamism(specs, router="pilot", seed=0)
+        layer = MoELayer(32, num_experts=4, seed=0)
+        layer(np.random.default_rng(1).normal(size=(1, 16, 32)))
+        scheme.attach_pilot({scheme.moe_layers[0]: layer})
+        states = scheme.initial_states()
+        scheme.step(0, states)
+        counts = layer.tokens_per_expert().astype(float)
+        expected = counts.max() / (counts.sum() / 4)
+        assert states[scheme.moe_layers[0]].moe_multiplier == pytest.approx(expected)
+
+
+class TestCheckpointRepackRestart:
+    def test_full_cycle(self, tmp_path, gpt24_cost, gpt24_specs, comm):
+        """Train -> checkpoint -> restart on fewer workers -> continue.
+
+        The paper's alternative re-packing path (section 3.4.2):
+        combine re-packing with a checkpoint restart so the new
+        communicator and resharding come for free."""
+        from repro.training import load_checkpoint, save_checkpoint
+
+        scheme = FreezingDynamism(gpt24_specs, freeze_every=5, tau0=5, seed=0)
+        cfg = TrainingConfig(iterations=20, pp_stages=8, dp_ways=1)
+        trainer = Trainer(cfg, gpt24_cost, scheme, comm=comm)
+        trainer.run()
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, 20, trainer.plan, trainer.states)
+
+        it, plan, states = load_checkpoint(path, num_stages=4)
+        assert plan.num_stages == 4
+        cfg2 = TrainingConfig(iterations=10, pp_stages=4, dp_ways=1)
+        scheme2 = FreezingDynamism(gpt24_specs, freeze_every=5, tau0=5, seed=0)
+        trainer2 = Trainer(cfg2, gpt24_cost, scheme2, comm=comm, initial_plan=plan)
+        trainer2.states = states  # resume the dynamism state
+        res = trainer2.run()
+        assert res.tokens_per_s > 0
+        assert res.final_plan.num_stages == 4
+
+
+class TestActivationCheckpointing:
+    def test_tradeoff(self, gpt24_specs):
+        base = ModelCost(gpt24_specs)
+        ckpt = ModelCost(gpt24_specs, activation_checkpointing=True)
+        from repro.model.cost import LayerState
+
+        st = LayerState()
+        sp = gpt24_specs[1]
+        # slower backward...
+        assert ckpt.backward_time(sp, st) > base.backward_time(sp, st)
+        assert ckpt.backward_time(sp, st) == pytest.approx(
+            base.backward_time(sp, st) + base.forward_time(sp, st)
+        )
+        # ...but less activation memory in flight
+        assert ckpt.activation_bytes(sp, st, in_flight=8) < base.activation_bytes(
+            sp, st, in_flight=8
+        )
+
+    def test_enables_tighter_repack(self, gpt24_specs):
+        """Checkpointing shrinks worker memory, letting re-packing fold
+        further under the same capacity."""
+        from repro.core.repack import repack_plan
+        from repro.model.cost import fresh_states
+
+        states = fresh_states(26)
+        plan = PipelinePlan.uniform(26, 8)
+        base_mem = PipelineProfiler(ModelCost(gpt24_specs), in_flight=8).profile(
+            plan, states
+        ).worker_memory
+        ckpt_mem = PipelineProfiler(
+            ModelCost(gpt24_specs, activation_checkpointing=True), in_flight=8
+        ).profile(plan, states).worker_memory
+        assert ckpt_mem.sum() < base_mem.sum()
+        capacity = float(base_mem.max() * 2.5)
+        _, res_base = repack_plan(plan, base_mem, capacity)
+        _, res_ckpt = repack_plan(plan, ckpt_mem, capacity)
+        assert res_ckpt.num_active <= res_base.num_active

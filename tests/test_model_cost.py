@@ -1,0 +1,195 @@
+"""Tests for GPT configs and the per-layer cost model."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    GPTConfig,
+    LayerSpec,
+    LayerState,
+    ModelCost,
+    build_layer_specs,
+    gpt_24,
+    gpt_48,
+    mixtral_8x7b_like,
+)
+from repro.model.cost import fresh_states
+
+
+class TestConfig:
+    def test_presets(self):
+        assert gpt_24().num_layers == 24
+        assert gpt_48().num_layers == 48
+        assert gpt_24().hidden == 1024
+        assert gpt_24().seq_len == 2048
+        assert gpt_24().num_heads == 32
+
+    def test_moe_layers(self):
+        cfg = mixtral_8x7b_like()
+        assert cfg.is_moe
+        assert len(cfg.moe_layers()) == 32
+
+    def test_moe_every_two(self):
+        cfg = GPTConfig("x", num_layers=4, moe_every=2, num_experts=4)
+        assert cfg.moe_layers() == [1, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPTConfig("x", num_layers=0)
+        with pytest.raises(ValueError):
+            GPTConfig("x", num_layers=4, hidden=100, num_heads=3)
+        with pytest.raises(ValueError):
+            GPTConfig("x", num_layers=4, moe_every=1, num_experts=1)
+
+
+class TestBuildLayerSpecs:
+    def test_layout(self):
+        specs = build_layer_specs(gpt_24())
+        assert len(specs) == 26
+        assert specs[0].kind == "embedding"
+        assert specs[-1].kind == "head"
+        assert all(sp.kind == "block" for sp in specs[1:-1])
+
+    def test_moe_flags(self):
+        specs = build_layer_specs(mixtral_8x7b_like())
+        assert all(sp.is_moe for sp in specs[1:-1])
+        assert specs[1].num_experts == 8
+
+    def test_moe_ffn_flops_scale_with_topk(self):
+        dense = build_layer_specs(gpt_24())[1]
+        cfg = GPTConfig("x", num_layers=24, moe_every=1, num_experts=8, moe_top_k=2)
+        moe = build_layer_specs(cfg)[1]
+        assert moe.ffn_flops == pytest.approx(dense.ffn_flops * 2)
+
+    def test_tp_shards_head(self):
+        s1 = build_layer_specs(gpt_24(), tp_ways=1)
+        s8 = build_layer_specs(gpt_24(), tp_ways=8)
+        assert s8[-1].matmul_flops == pytest.approx(s1[-1].matmul_flops / 8)
+
+    def test_ffn_not_exceeding_matmul(self):
+        for sp in build_layer_specs(gpt_24()):
+            assert sp.ffn_flops <= sp.matmul_flops + 1e-9
+
+    def test_bad_tp_raises(self):
+        with pytest.raises(ValueError):
+            build_layer_specs(gpt_24(), tp_ways=0)
+
+
+class TestLayerState:
+    def test_defaults_valid(self):
+        LayerState().validate()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            LayerState(sparsity=1.5).validate()
+        with pytest.raises(ValueError):
+            LayerState(attn_density=-0.1).validate()
+        with pytest.raises(ValueError):
+            LayerState(moe_multiplier=-1).validate()
+
+    def test_copy_independent(self):
+        a = LayerState(sparsity=0.5)
+        b = a.copy()
+        b.sparsity = 0.9
+        assert a.sparsity == 0.5
+
+
+class TestModelCost:
+    @pytest.fixture
+    def cost(self):
+        return ModelCost(build_layer_specs(gpt_24()))
+
+    def test_forward_time_positive(self, cost):
+        st = LayerState()
+        assert cost.forward_time(cost.specs[1], st) > 0
+
+    def test_backward_approx_twice_forward(self, cost):
+        st = LayerState()
+        f = cost.forward_time(cost.specs[1], st)
+        b = cost.backward_time(cost.specs[1], st)
+        assert 1.5 * f < b < 3.0 * f
+
+    def test_frozen_drops_weight_grad(self, cost):
+        sp = cost.specs[1]
+        full = cost.backward_time(sp, LayerState())
+        frozen = cost.backward_time(sp, LayerState(frozen=True))
+        assert frozen < full
+        assert cost.weight_grad_time(sp, LayerState(frozen=True)) == 0.0
+
+    def test_droppable_bwd_zero(self, cost):
+        st = LayerState(frozen=True, droppable_bwd=True)
+        assert cost.backward_time(cost.specs[1], st) == 0.0
+
+    def test_b_w_split_sums_to_backward(self, cost):
+        sp = cost.specs[1]
+        st = LayerState()
+        total = cost.backward_time(sp, st)
+        split = cost.backward_input_time(sp, st) + cost.weight_grad_time(sp, st)
+        assert split == pytest.approx(total)
+
+    def test_token_fraction_scales_time(self, cost):
+        sp = cost.specs[1]
+        full = cost.forward_time(sp, LayerState())
+        half = cost.forward_time(sp, LayerState(token_fraction=0.5))
+        assert half == pytest.approx(0.5 * full)
+
+    def test_attn_density_scales_quadratic_only(self, cost):
+        sp = cost.specs[1]
+        dense = cost.forward_time(sp, LayerState())
+        sparse = cost.forward_time(sp, LayerState(attn_density=0.0))
+        expected_drop = sp.attn_quad_flops / (cost.peak_flops * cost.efficiency)
+        assert dense - sparse == pytest.approx(expected_drop)
+
+    def test_moe_multiplier_scales_ffn(self, cost):
+        sp = cost.specs[1]
+        base = cost.forward_time(sp, LayerState())
+        doubled = cost.forward_time(sp, LayerState(moe_multiplier=2.0))
+        extra = sp.ffn_flops / (cost.peak_flops * cost.efficiency)
+        assert doubled - base == pytest.approx(extra)
+
+    def test_high_sparsity_faster(self, cost):
+        sp = cost.specs[1]
+        dense = cost.forward_time(sp, LayerState())
+        pruned = cost.forward_time(sp, LayerState(sparsity=0.95))
+        assert pruned < dense
+
+    def test_moderate_sparsity_not_faster(self, cost):
+        """Below the Sputnik crossover (~75%), sparse kernels don't
+        win, so time must not decrease."""
+        sp = cost.specs[1]
+        dense = cost.forward_time(sp, LayerState())
+        half = cost.forward_time(sp, LayerState(sparsity=0.5))
+        assert half >= dense * 0.99
+
+    def test_memory_components(self, cost):
+        sp = cost.specs[1]
+        st = LayerState()
+        assert cost.param_bytes(sp, st) > 0
+        assert cost.grad_bytes(sp, st) > 0
+        assert cost.optimizer_bytes(sp, st) == 2 * cost.grad_bytes(sp, st)
+        assert cost.layer_memory(sp, st, in_flight=2) > cost.param_bytes(sp, st)
+
+    def test_frozen_memory_smaller(self, cost):
+        sp = cost.specs[1]
+        assert cost.layer_memory(sp, LayerState(frozen=True)) < cost.layer_memory(
+            sp, LayerState()
+        )
+
+    def test_pruned_memory_smaller_at_high_sparsity(self, cost):
+        sp = cost.specs[1]
+        assert cost.param_bytes(sp, LayerState(sparsity=0.9)) < cost.param_bytes(
+            sp, LayerState()
+        )
+
+    def test_totals_require_matching_lengths(self, cost):
+        with pytest.raises(ValueError):
+            cost.total_forward_time([LayerState()])
+
+    def test_fresh_states(self):
+        states = fresh_states(5)
+        assert len(states) == 5
+        assert all(s.sparsity == 0 and not s.frozen for s in states)
+
+    def test_empty_specs_raises(self):
+        with pytest.raises(ValueError):
+            ModelCost([])

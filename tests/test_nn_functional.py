@@ -1,0 +1,103 @@
+"""Tests for repro.nn.functional, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = fn()
+        x[idx] = orig - eps
+        fm = fn()
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        y = F.softmax(rng.normal(size=(4, 7)))
+        assert np.allclose(y.sum(axis=-1), 1.0)
+
+    def test_stability_large_logits(self):
+        y = F.softmax(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.isfinite(y).all()
+        assert np.allclose(y[0, :2], 0.5)
+
+    def test_grad_matches_numerical(self, rng):
+        x = rng.normal(size=(3, 5))
+        w = rng.normal(size=(3, 5))  # random projection for scalar loss
+        y = F.softmax(x)
+        dy = w
+        dx = F.softmax_grad(dy, y)
+        num = numerical_grad(lambda: float((F.softmax(x) * w).sum()), x)
+        assert np.allclose(dx, num, atol=1e-5)
+
+    def test_log_softmax_consistency(self, rng):
+        x = rng.normal(size=(2, 6))
+        assert np.allclose(np.exp(F.log_softmax(x)), F.softmax(x))
+
+
+class TestGelu:
+    def test_zero_at_zero(self):
+        assert F.gelu(np.zeros(3)).tolist() == [0, 0, 0]
+
+    def test_asymptotics(self):
+        x = np.array([10.0, -10.0])
+        y = F.gelu(x)
+        assert y[0] == pytest.approx(10.0, rel=1e-3)
+        assert y[1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_grad_matches_numerical(self, rng):
+        x = rng.normal(size=(4, 3))
+        w = rng.normal(size=(4, 3))
+        dx = F.gelu_grad(w, x)
+        num = numerical_grad(lambda: float((F.gelu(x) * w).sum()), x)
+        assert np.allclose(dx, num, atol=1e-5)
+
+
+class TestLayerNorm:
+    def test_output_normalised(self, rng):
+        x = rng.normal(2.0, 3.0, size=(5, 16))
+        y, _ = F.layernorm(x, np.ones(16), np.zeros(16))
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-10)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_applied(self, rng):
+        x = rng.normal(size=(3, 8))
+        gamma, beta = np.full(8, 2.0), np.full(8, 0.5)
+        y, _ = F.layernorm(x, gamma, beta)
+        y0, _ = F.layernorm(x, np.ones(8), np.zeros(8))
+        assert np.allclose(y, 2.0 * y0 + 0.5)
+
+    def test_grad_matches_numerical(self, rng):
+        x = rng.normal(size=(2, 3, 8))
+        gamma = rng.normal(1.0, 0.1, size=8)
+        beta = rng.normal(0.0, 0.1, size=8)
+        w = rng.normal(size=(2, 3, 8))
+
+        def loss():
+            y, _ = F.layernorm(x, gamma, beta)
+            return float((y * w).sum())
+
+        y, cache = F.layernorm(x, gamma, beta)
+        dx, dgamma, dbeta = F.layernorm_grad(w, cache)
+        assert np.allclose(dx, numerical_grad(loss, x), atol=1e-5)
+        assert np.allclose(dgamma, numerical_grad(loss, gamma), atol=1e-5)
+        assert np.allclose(dbeta, numerical_grad(loss, beta), atol=1e-5)
+
+
+class TestCausalMask:
+    def test_lower_triangular(self):
+        m = F.causal_mask(4)
+        assert m[0, 0] and not m[0, 1]
+        assert m[3].all()
+        assert m.sum() == 10

@@ -1,0 +1,218 @@
+"""Tests for Parameter/Module/Linear/Embedding/LayerNorm/MLP/Attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    MultiHeadAttention,
+    Parameter,
+)
+from repro.nn.attention import expand_block_mask
+
+
+def finite_diff_input_grad(module, x, dy, eps=1e-6, **fw):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = float((module.forward(x, **fw) * dy).sum())
+        x[idx] = orig - eps
+        fm = float((module.forward(x, **fw) * dy).sum())
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestParameter:
+    def test_mask_zeros_data_and_grad(self, rng):
+        p = Parameter(rng.normal(size=(4, 4)))
+        p.grad[...] = 1.0
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0] = True
+        p.apply_mask(mask)
+        assert (p.data[1:] == 0).all()
+        assert (p.grad[1:] == 0).all()
+        assert p.sparsity() == pytest.approx(0.75)
+        assert p.numel_active() == 4
+
+    def test_mask_shape_mismatch_raises(self):
+        p = Parameter(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            p.apply_mask(np.ones((3, 3), dtype=bool))
+
+    def test_frozen_blocks_grad_accumulation(self):
+        p = Parameter(np.ones(3))
+        p.frozen = True
+        p.accumulate_grad(np.ones(3))
+        assert (p.grad == 0).all()
+
+    def test_masked_grad_accumulation(self):
+        p = Parameter(np.ones(4))
+        p.apply_mask(np.array([True, False, True, False]))
+        p.accumulate_grad(np.ones(4))
+        assert p.grad.tolist() == [1, 0, 1, 0]
+
+
+class TestModuleRegistry:
+    def test_parameters_recursive(self):
+        mlp = MLP(8, seed=0)
+        names = [p.name for p in mlp.parameters()]
+        assert len(names) == 4  # fc1.W, fc1.b, fc2.W, fc2.b
+
+    def test_parameters_in_lists(self):
+        class Holder(Module):
+            def __init__(self):
+                self.layers = [Linear(2, 2), Linear(2, 2)]
+
+        assert len(list(Holder().parameters())) == 4
+
+    def test_freeze_unfreeze(self):
+        m = MLP(4)
+        m.freeze()
+        assert m.is_frozen
+        m.unfreeze()
+        assert not m.is_frozen
+
+    def test_num_params_and_sparsity(self):
+        lin = Linear(4, 4, bias=False)
+        assert lin.num_params() == 16
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:2] = True
+        lin.W.apply_mask(mask)
+        assert lin.sparsity() == pytest.approx(0.5)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        lin = Linear(6, 3, seed=1)
+        y = lin(rng.normal(size=(2, 5, 6)))
+        assert y.shape == (2, 5, 3)
+
+    def test_input_grad_matches_numerical(self, rng):
+        lin = Linear(4, 3, seed=1)
+        x = rng.normal(size=(2, 4))
+        dy = rng.normal(size=(2, 3))
+        lin(x)
+        dx = lin.backward(dy)
+        num = finite_diff_input_grad(lin, x, dy)
+        assert np.allclose(dx, num, atol=1e-6)
+
+    def test_weight_grad_accumulates(self, rng):
+        lin = Linear(3, 2, seed=0)
+        x = rng.normal(size=(4, 3))
+        dy = rng.normal(size=(4, 2))
+        lin(x)
+        lin.backward(dy)
+        assert np.allclose(lin.W.grad, x.T @ dy)
+        assert np.allclose(lin.b.grad, dy.sum(axis=0))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).backward(np.ones((1, 2)))
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, seed=0)
+        ids = np.array([[1, 2], [2, 3]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out[0, 1], out[1, 0])  # same id -> same row
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(4, 2)
+        with pytest.raises(ValueError):
+            emb(np.array([[5]]))
+
+    def test_backward_scatter_adds(self):
+        emb = Embedding(5, 3, seed=0)
+        ids = np.array([[0, 0, 1]])
+        emb(ids)
+        emb.backward(np.ones((1, 3, 3)))
+        assert np.allclose(emb.weight.grad[0], 2.0)  # id 0 appears twice
+        assert np.allclose(emb.weight.grad[1], 1.0)
+        assert np.allclose(emb.weight.grad[2:], 0.0)
+
+
+class TestLayerNormModule:
+    def test_input_grad(self, rng):
+        ln = LayerNorm(6)
+        x = rng.normal(size=(3, 6))
+        dy = rng.normal(size=(3, 6))
+        ln(x)
+        dx = ln.backward(dy)
+        num = finite_diff_input_grad(ln, x, dy)
+        assert np.allclose(dx, num, atol=1e-5)
+
+
+class TestMLP:
+    def test_input_grad(self, rng):
+        mlp = MLP(5, expansion=2, seed=3)
+        x = rng.normal(size=(2, 5))
+        dy = rng.normal(size=(2, 5))
+        mlp(x)
+        dx = mlp.backward(dy)
+        num = finite_diff_input_grad(mlp, x, dy)
+        assert np.allclose(dx, num, atol=1e-5)
+
+
+class TestAttention:
+    def test_forward_shape_and_density(self, rng):
+        attn = MultiHeadAttention(16, 4, seed=0)
+        x = rng.normal(size=(2, 8, 16))
+        y = attn(x)
+        assert y.shape == (2, 8, 16)
+        # dense causal: density = (T+1)/2T
+        assert attn.last_density == pytest.approx((8 + 1) / (2 * 8))
+
+    def test_block_mask_reduces_density(self, rng):
+        attn = MultiHeadAttention(16, 4, seed=0)
+        x = rng.normal(size=(1, 8, 16))
+        bm = np.eye(2, dtype=bool)  # 2 blocks of 4, diagonal only
+        attn(x, block_mask=bm, block_size=4)
+        dense = (8 + 1) / (2 * 8)
+        assert attn.last_density < dense
+
+    def test_causality(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        attn = MultiHeadAttention(8, 2, seed=1)
+        x = rng.normal(size=(1, 6, 8))
+        y1 = attn(x).copy()
+        x2 = x.copy()
+        x2[0, 5] += 1.0
+        y2 = attn(x2)
+        assert np.allclose(y1[0, :5], y2[0, :5])
+
+    def test_input_grad(self, rng):
+        attn = MultiHeadAttention(8, 2, seed=2)
+        x = rng.normal(size=(1, 4, 8))
+        dy = rng.normal(size=(1, 4, 8))
+        attn(x)
+        dx = attn.backward(dy)
+        num = finite_diff_input_grad(attn, x, dy)
+        assert np.allclose(dx, num, atol=1e-4)
+
+    def test_hidden_not_divisible_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+
+class TestExpandBlockMask:
+    def test_expansion(self):
+        bm = np.array([[True, False], [True, True]])
+        full = expand_block_mask(bm, 2, 4)
+        assert full.shape == (4, 4)
+        assert full[0, 0] and not full[0, 2]
+        assert full[3, 1]
+
+    def test_too_small_mask_raises(self):
+        with pytest.raises(ValueError):
+            expand_block_mask(np.ones((1, 1), dtype=bool), 2, 4)

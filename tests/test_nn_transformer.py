@@ -1,0 +1,233 @@
+"""Tests for TransformerBlock, GPT, loss, optimizers, and MoE layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GPT,
+    Adam,
+    ExpertChoiceRouter,
+    MoELayer,
+    SBaseRouter,
+    SGD,
+    TopKRouter,
+    TransformerBlock,
+    softmax_cross_entropy,
+)
+
+
+def make_gpt(**kw):
+    defaults = dict(vocab_size=31, hidden=16, num_layers=2, num_heads=2, max_seq=16, seed=0)
+    defaults.update(kw)
+    return GPT(**defaults)
+
+
+class TestLoss:
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((1, 3, 7))
+        targets = np.zeros((1, 3), dtype=int)
+        loss, d = softmax_cross_entropy(logits, targets)
+        assert loss == pytest.approx(np.log(7))
+        assert d.shape == logits.shape
+
+    def test_ignore_index(self):
+        logits = np.random.default_rng(0).normal(size=(1, 4, 5))
+        targets = np.array([[1, -100, 2, -100]])
+        loss, d = softmax_cross_entropy(logits, targets)
+        assert np.allclose(d[0, 1], 0.0)
+        assert np.allclose(d[0, 3], 0.0)
+        assert loss > 0
+
+    def test_all_ignored(self):
+        logits = np.ones((1, 2, 3))
+        loss, d = softmax_cross_entropy(logits, np.full((1, 2), -100))
+        assert loss == 0.0 and (d == 0).all()
+
+    def test_gradient_numerical(self, rng):
+        logits = rng.normal(size=(1, 2, 4))
+        targets = np.array([[1, 3]])
+        _, d = softmax_cross_entropy(logits, targets)
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        it = np.nditer(logits, flags=["multi_index"])
+        while not it.finished:
+            i = it.multi_index
+            orig = logits[i]
+            logits[i] = orig + eps
+            lp, _ = softmax_cross_entropy(logits, targets)
+            logits[i] = orig - eps
+            lm, _ = softmax_cross_entropy(logits, targets)
+            logits[i] = orig
+            num[i] = (lp - lm) / (2 * eps)
+            it.iternext()
+        assert np.allclose(d, num, atol=1e-5)
+
+
+class TestGPT:
+    def test_forward_shape(self):
+        gpt = make_gpt()
+        ids = np.array([[1, 2, 3, 4]])
+        assert gpt(ids).shape == (1, 4, 31)
+
+    def test_training_reduces_loss(self):
+        """End-to-end sanity: a few SGD steps on a fixed batch learn it."""
+        gpt = make_gpt(num_layers=1)
+        opt = Adam(gpt.parameters(), lr=1e-2)
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 31, size=(2, 8))
+        targets = np.roll(ids, -1, axis=1)
+        losses = []
+        for _ in range(30):
+            logits = gpt(ids)
+            loss, dlogits = softmax_cross_entropy(logits, targets)
+            losses.append(loss)
+            gpt.zero_grad()
+            gpt.backward(dlogits)
+            opt.step()
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_frozen_layers_do_not_update(self):
+        gpt = make_gpt()
+        gpt.blocks[0].freeze()
+        before = gpt.blocks[0].attn.qkv.W.data.copy()
+        ids = np.array([[1, 2, 3]])
+        logits = gpt(ids)
+        _, d = softmax_cross_entropy(logits, np.array([[2, 3, 4]]))
+        gpt.backward(d)
+        SGD(gpt.parameters(), lr=0.1).step()
+        assert np.array_equal(before, gpt.blocks[0].attn.qkv.W.data)
+        # unfrozen block does update
+        assert not np.array_equal(
+            gpt.blocks[1].attn.qkv.W.grad, np.zeros_like(gpt.blocks[1].attn.qkv.W.grad)
+        )
+
+    def test_hidden_states_depth(self):
+        gpt = make_gpt(num_layers=3)
+        states = gpt.hidden_states(np.array([[1, 2]]))
+        assert len(states) == 3
+        assert states[0].shape == (1, 2, 16)
+
+    def test_moe_every(self):
+        gpt = make_gpt(num_layers=4, moe_every=2, num_experts=4)
+        assert [b.is_moe for b in gpt.blocks] == [False, True, False, True]
+
+
+class TestOptimizers:
+    def test_sgd_step_direction(self):
+        from repro.nn.parameter import Parameter
+
+        p = Parameter(np.array([1.0]))
+        p.grad[...] = 2.0
+        SGD([p], lr=0.5).step()
+        assert p.data[0] == pytest.approx(0.0)
+
+    def test_sgd_momentum(self):
+        from repro.nn.parameter import Parameter
+
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[...] = 1.0
+        opt.step()
+        opt.step()
+        assert p.data[0] == pytest.approx(-(1.0 + 1.9))
+
+    def test_adam_respects_mask(self):
+        from repro.nn.parameter import Parameter
+
+        p = Parameter(np.array([1.0, 1.0]))
+        p.apply_mask(np.array([True, False]))
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = np.array([1.0, 1.0])
+        opt.step()
+        assert p.data[1] == 0.0
+        assert p.data[0] != 1.0
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0)
+        with pytest.raises(ValueError):
+            Adam([], lr=-1)
+
+
+class TestRouters:
+    def _x(self, n=64, h=16, seed=0):
+        return np.random.default_rng(seed).normal(size=(n, h))
+
+    def test_topk_counts_sum(self):
+        r = TopKRouter(16, 4, top_k=2, seed=0)
+        res = r.route(self._x())
+        assert res.tokens_per_expert.sum() == 64 * 2
+        assert res.assign.shape == (64, 2)
+        assert np.allclose(res.gates.sum(axis=-1), 1.0)
+
+    def test_topk_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKRouter(8, 4, top_k=5)
+
+    def test_topk_aux_loss_positive(self):
+        r = TopKRouter(16, 4, top_k=1, aux_loss_coeff=0.1, seed=0)
+        res = r.route(self._x())
+        assert res.aux_loss > 0
+
+    def test_sbase_balanced(self):
+        r = SBaseRouter(16, 4, seed=0)
+        res = r.route(self._x(n=64))
+        assert res.tokens_per_expert.max() - res.tokens_per_expert.min() <= 1
+        assert res.imbalance() <= 0.1
+
+    def test_expert_choice_fixed_capacity(self):
+        r = ExpertChoiceRouter(16, 4, capacity_factor=1.0, seed=0)
+        res = r.route(self._x(n=64))
+        assert (res.tokens_per_expert == 16).all()
+
+    def test_expert_choice_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ExpertChoiceRouter(8, 2, capacity_factor=0)
+
+    def test_imbalance_metric(self):
+        from repro.nn.moe import RoutingResult
+
+        res = RoutingResult(
+            assign=np.zeros((4, 1), dtype=int),
+            gates=np.ones((4, 1)),
+            tokens_per_expert=np.array([4, 0]),
+        )
+        assert res.imbalance() == pytest.approx(2.0)
+
+
+class TestMoELayer:
+    def test_forward_shape_and_counts(self):
+        layer = MoELayer(16, num_experts=4, seed=0)
+        x = np.random.default_rng(1).normal(size=(2, 8, 16))
+        y = layer(x)
+        assert y.shape == x.shape
+        assert layer.tokens_per_expert().sum() == 2 * 8 * 2  # top-2
+
+    def test_backward_shape(self):
+        layer = MoELayer(8, num_experts=2, seed=0)
+        x = np.random.default_rng(2).normal(size=(1, 4, 8))
+        layer(x)
+        dx = layer.backward(np.ones((1, 4, 8)))
+        assert dx.shape == x.shape
+        assert np.isfinite(dx).all()
+
+    def test_counts_before_forward(self):
+        layer = MoELayer(8, num_experts=2)
+        assert layer.tokens_per_expert().sum() == 0
+
+
+class TestTransformerBlock:
+    def test_residual_path(self, rng):
+        blk = TransformerBlock(16, 4, seed=0)
+        x = rng.normal(size=(1, 4, 16))
+        y = blk(x)
+        assert y.shape == x.shape
+        # pre-LN residual: output correlates strongly with input
+        assert np.corrcoef(x.ravel(), y.ravel())[0, 1] > 0.5
+
+    def test_backward_shape(self, rng):
+        blk = TransformerBlock(16, 4, seed=0)
+        x = rng.normal(size=(2, 4, 16))
+        blk(x)
+        dx = blk.backward(np.ones_like(x))
+        assert dx.shape == x.shape

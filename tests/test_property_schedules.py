@@ -1,0 +1,148 @@
+"""Property tests: schedule completeness and trace/cost invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.config import GPTConfig
+from repro.model.cost import LayerState, ModelCost, build_layer_specs
+from repro.pipeline.schedules import OpKind, Schedule
+from repro.training.trace import TraceRecord
+from repro.training.trainer import states_fingerprint
+
+
+class TestScheduleCompleteness:
+    @given(
+        stages=st.integers(1, 12),
+        micro=st.integers(1, 24),
+        name=st.sampled_from(["gpipe", "1f1b", "zb"]),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_op_exactly_once(self, stages, micro, name, data):
+        """Each stage executes F and B for every micro-batch exactly
+        once (and W under zb)."""
+        stage = data.draw(st.integers(0, stages - 1))
+        ops = Schedule(name).stage_ops(stage, stages, micro)
+        f = sorted(o.micro for o in ops if o.kind is OpKind.F)
+        b = sorted(o.micro for o in ops if o.kind is OpKind.B)
+        assert f == list(range(micro))
+        assert b == list(range(micro))
+        if name == "zb":
+            w = sorted(o.micro for o in ops if o.kind is OpKind.W)
+            assert w == list(range(micro))
+
+    @given(
+        stages=st.integers(2, 10),
+        micro=st.integers(2, 16),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_1f1b_backward_never_precedes_forward(self, stages, micro, data):
+        stage = data.draw(st.integers(0, stages - 1))
+        ops = Schedule("1f1b").stage_ops(stage, stages, micro)
+        f_pos = {o.micro: i for i, o in enumerate(ops) if o.kind is OpKind.F}
+        for i, o in enumerate(ops):
+            if o.kind is OpKind.B:
+                assert f_pos[o.micro] < i
+
+    @given(stages=st.integers(2, 8), micro=st.integers(2, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_in_flight_bounded(self, stages, micro):
+        """1F1B keeps at most (warmup + 1) micro-batches in flight —
+        the memory property that distinguishes it from GPipe."""
+        for stage in range(stages):
+            ops = Schedule("1f1b").stage_ops(stage, stages, micro)
+            in_flight = 0
+            peak = 0
+            for o in ops:
+                if o.kind is OpKind.F:
+                    in_flight += 1
+                elif o.kind is OpKind.B:
+                    in_flight -= 1
+                peak = max(peak, in_flight)
+            warmup = min(stages - stage - 1, micro)
+            assert peak <= warmup + 1
+
+
+layer_states = st.builds(
+    LayerState,
+    sparsity=st.floats(0, 0.99),
+    frozen=st.booleans(),
+    attn_density=st.floats(0.01, 1.0),
+    token_fraction=st.floats(0.01, 1.0),
+    moe_multiplier=st.floats(1.0, 4.0),
+)
+
+
+class TestCostModelProperties:
+    COST = ModelCost(
+        build_layer_specs(
+            GPTConfig("prop", num_layers=4, hidden=128, num_heads=4, seq_len=64, vocab_size=512)
+        )
+    )
+
+    @given(state=layer_states)
+    @settings(max_examples=80, deadline=None)
+    def test_times_nonnegative_and_finite(self, state):
+        for spec in self.COST.specs:
+            f = self.COST.forward_time(spec, state)
+            b = self.COST.backward_time(spec, state)
+            assert np.isfinite(f) and f >= 0
+            assert np.isfinite(b) and b >= 0
+
+    @given(state=layer_states)
+    @settings(max_examples=60, deadline=None)
+    def test_b_w_split_consistent(self, state):
+        for spec in self.COST.specs:
+            total = self.COST.backward_time(spec, state)
+            split = self.COST.backward_input_time(spec, state) + self.COST.weight_grad_time(
+                spec, state
+            )
+            assert split == pytest.approx(total, rel=1e-9, abs=1e-15)
+
+    @given(state=layer_states, frac=st.floats(0.01, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_token_fraction_linear(self, state, frac):
+        spec = self.COST.specs[1]
+        state.token_fraction = 1.0
+        full = self.COST.forward_time(spec, state)
+        state.token_fraction = frac
+        scaled = self.COST.forward_time(spec, state)
+        assert scaled == pytest.approx(full * frac, rel=1e-9)
+
+    @given(state=layer_states)
+    @settings(max_examples=60, deadline=None)
+    def test_memory_nonnegative(self, state):
+        for spec in self.COST.specs:
+            assert self.COST.layer_memory(spec, state, in_flight=4) >= 0
+            assert self.COST.param_bytes(spec, state) >= 0
+
+
+class TestTraceProperties:
+    @given(
+        states=st.lists(layer_states, min_size=2, max_size=10),
+        iteration=st.integers(0, 10**6),
+        makespan=st.floats(0, 1e3, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_record_json_roundtrip(self, states, iteration, makespan):
+        n = len(states)
+        rec = TraceRecord(
+            iteration=iteration,
+            boundaries=(0, n),
+            states=states,
+            makespan=makespan,
+            bubble=0.1,
+        )
+        back = TraceRecord.from_json(rec.to_json())
+        assert back.iteration == iteration
+        assert back.boundaries == (0, n)
+        assert back.makespan == pytest.approx(makespan)
+        assert states_fingerprint(back.states) == states_fingerprint(states)
+
+    @given(states=st.lists(layer_states, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_roundtrip_stability(self, states):
+        copies = [s.copy() for s in states]
+        assert states_fingerprint(copies) == states_fingerprint(states)

@@ -1,0 +1,159 @@
+"""Tests for the in-process MPI-like rank simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simcomm import SimComm, SimWorld
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        world = SimWorld(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = world.run(fn)
+        assert results[1] == {"a": 7}
+
+    def test_numpy_payload(self):
+        world = SimWorld(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(5), dest=1, tag=3)
+            else:
+                return comm.recv(source=0, tag=3)
+
+        out = world.run(fn)
+        assert np.array_equal(out[1], np.arange(5))
+
+    def test_invalid_dest_raises(self):
+        world = SimWorld(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=5)
+
+        with pytest.raises(ValueError):
+            world.run(fn)
+
+    def test_rank_exception_propagates(self):
+        world = SimWorld(2)
+
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            world.run(fn)
+
+
+class TestCollectives:
+    def test_gather(self):
+        world = SimWorld(4)
+        out = world.run(lambda c: c.gather(c.rank * 10, root=0))
+        assert out[0] == [0, 10, 20, 30]
+        assert out[1] is None
+
+    def test_scatter(self):
+        world = SimWorld(3)
+
+        def fn(comm):
+            objs = [100, 200, 300] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert world.run(fn) == [100, 200, 300]
+
+    def test_scatter_wrong_length_raises(self):
+        world = SimWorld(2)
+
+        def fn(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(ValueError):
+            world.run(fn)
+
+    def test_bcast(self):
+        world = SimWorld(4)
+
+        def fn(comm):
+            val = "hello" if comm.rank == 0 else None
+            return comm.bcast(val, root=0)
+
+        assert world.run(fn) == ["hello"] * 4
+
+    def test_allreduce_sum(self):
+        world = SimWorld(4)
+        out = world.run(lambda c: c.allreduce(c.rank + 1))
+        assert out == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        world = SimWorld(3)
+        out = world.run(lambda c: c.allreduce(c.rank, op=max))
+        assert out == [2, 2, 2]
+
+    def test_barrier(self):
+        world = SimWorld(3)
+        out = world.run(lambda c: (c.barrier("sync"), c.rank)[1])
+        assert out == [0, 1, 2]
+
+
+class TestSplit:
+    def test_split_two_groups(self):
+        world = SimWorld(4)
+
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size)
+
+        out = world.run(fn)
+        assert all(size == 2 for _, size in out)
+        assert out[0][0] == 0 and out[2][0] == 1  # ranks 0,2 -> color 0
+
+    def test_split_nocolor_returns_none(self):
+        """ncclCommSplit semantics: released GPUs pass a negative color
+        and get no communicator — the re-packing release path."""
+        world = SimWorld(4)
+
+        def fn(comm):
+            color = 0 if comm.rank < 2 else -1
+            sub = comm.split(color)
+            if sub is None:
+                return "released"
+            return sub.size
+
+        out = world.run(fn)
+        assert out == [2, 2, "released", "released"]
+
+    def test_split_subcomm_communicates(self):
+        world = SimWorld(4)
+
+        def fn(comm):
+            sub = comm.split(color=comm.rank // 2)
+            if sub.rank == 0:
+                sub.send(comm.rank, dest=1)
+                return None
+            return sub.recv(source=0)
+
+        out = world.run(fn)
+        assert out[1] == 0 and out[3] == 2
+
+    def test_key_reorders_ranks(self):
+        world = SimWorld(2)
+
+        def fn(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reversed order
+            return sub.rank
+
+        assert world.run(fn) == [1, 0]
+
+
+class TestWorldValidation:
+    def test_zero_size_raises(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)

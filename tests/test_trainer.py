@@ -1,0 +1,159 @@
+"""Tests for TrainingConfig, Trainer, throughput, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.job_manager import ElasticJobManager
+from repro.core import DynMoConfig, DynMoController
+from repro.dynamics import FreezingDynamism, StaticScheme
+from repro.model.cost import LayerState, fresh_states
+from repro.pipeline import PipelinePlan
+from repro.training import (
+    Trainer,
+    TrainingConfig,
+    ThroughputMeter,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.training.throughput import speedup
+from repro.training.trainer import states_fingerprint
+
+
+class TestTrainingConfig:
+    def test_defaults(self):
+        cfg = TrainingConfig()
+        assert cfg.micro_batches == 4 * cfg.pp_stages
+        assert cfg.total_gpus == cfg.pp_stages * cfg.dp_ways
+
+    def test_explicit_micro(self):
+        assert TrainingConfig(num_micro=7).micro_batches == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(iterations=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(pp_stages=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(dp_ways=-1)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        a = fresh_states(4)
+        b = fresh_states(4)
+        assert states_fingerprint(a) == states_fingerprint(b)
+
+    def test_sensitive_to_changes(self):
+        a = fresh_states(4)
+        b = fresh_states(4)
+        b[2].sparsity = 0.5
+        assert states_fingerprint(a) != states_fingerprint(b)
+
+    def test_sensitive_to_flags(self):
+        a, b = fresh_states(2), fresh_states(2)
+        b[0].frozen = True
+        assert states_fingerprint(a) != states_fingerprint(b)
+
+
+class TestTrainer:
+    def _trainer(self, cost, specs, comm=None, controller=None, iters=20, **kw):
+        cfg = TrainingConfig(
+            iterations=iters, pp_stages=4, dp_ways=1, record_every=5, **kw
+        )
+        scheme = StaticScheme(specs)
+        return Trainer(cfg, cost, scheme, comm=comm, controller=controller)
+
+    def test_static_run_completes(self, gpt24_cost, gpt24_specs):
+        res = self._trainer(gpt24_cost, gpt24_specs).run()
+        assert res.iterations == 20
+        assert res.total_time_s > 0
+        assert res.tokens_per_s > 0
+        assert res.total_tokens == 20 * 2 * 2048 * 16  # iters*mb*seq*micros
+
+    def test_static_iterations_memoised(self, gpt24_cost, gpt24_specs):
+        """Static model: every iteration identical -> history flat."""
+        res = self._trainer(gpt24_cost, gpt24_specs).run()
+        spans = [m for _, m in res.makespan_history]
+        assert all(s == pytest.approx(spans[0]) for s in spans)
+
+    def test_run_iterations_override(self, gpt24_cost, gpt24_specs):
+        res = self._trainer(gpt24_cost, gpt24_specs, iters=50).run(iterations=5)
+        assert res.iterations == 5
+
+    def test_dynmo_beats_static_on_freezing(self, gpt24_cost, gpt24_specs, comm):
+        cfg = TrainingConfig(iterations=60, pp_stages=4, dp_ways=1, record_every=10)
+        mk = lambda: FreezingDynamism(gpt24_specs, freeze_every=10, tau0=10, seed=0)
+        static = Trainer(cfg, gpt24_cost, mk(), comm=comm).run()
+        ctl = DynMoController(gpt24_cost, comm, DynMoConfig(balancer="partition"))
+        dyn = Trainer(cfg, gpt24_cost, mk(), comm=comm, controller=ctl).run()
+        assert dyn.tokens_per_s > static.tokens_per_s
+        assert dyn.mean_bubble_ratio < static.mean_bubble_ratio
+
+    def test_overhead_reported(self, gpt24_cost, gpt24_specs, comm):
+        cfg = TrainingConfig(iterations=30, pp_stages=4, dp_ways=1)
+        scheme = FreezingDynamism(gpt24_specs, freeze_every=10, tau0=10, seed=0)
+        ctl = DynMoController(gpt24_cost, comm, DynMoConfig())
+        res = Trainer(cfg, gpt24_cost, scheme, comm=comm, controller=ctl).run()
+        assert res.overhead_s > 0
+        assert res.overhead_fraction < 0.2
+
+    def test_job_manager_integration(self, gpt24_cost, gpt24_specs, comm):
+        jm = ElasticJobManager(total_gpus=8)
+        cfg = TrainingConfig(iterations=10, pp_stages=4, dp_ways=2)
+        t = Trainer(
+            cfg, gpt24_cost, StaticScheme(gpt24_specs), comm=comm, job_manager=jm
+        )
+        assert jm.claims["train"] == 8
+        res = t.run()
+        assert res.average_gpus == pytest.approx(8.0)
+
+    def test_stage_count_history(self, gpt24_cost, gpt24_specs):
+        res = self._trainer(gpt24_cost, gpt24_specs).run()
+        assert all(s == 4 for _, s in res.stage_count_history)
+
+
+class TestThroughput:
+    def test_meter(self):
+        m = ThroughputMeter()
+        m.record(1000, 2.0)
+        m.record(1000, 2.0)
+        assert m.tokens_per_s == pytest.approx(500.0)
+        assert m.percentile(50) == pytest.approx(500.0)
+        assert m.per_gpu(4) == pytest.approx(125.0)
+
+    def test_meter_validation(self):
+        m = ThroughputMeter()
+        with pytest.raises(ValueError):
+            m.record(-1, 1)
+        with pytest.raises(ValueError):
+            m.per_gpu(0)
+        assert m.percentile(50) == 0.0
+
+    def test_speedup(self):
+        assert speedup(1200, 1000) == pytest.approx(1.2)
+        with pytest.raises(ValueError):
+            speedup(1, 0)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        plan = PipelinePlan.uniform(10, 4)
+        states = fresh_states(10)
+        states[3].sparsity = 0.7
+        states[5].frozen = True
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, 123, plan, states)
+        it, plan2, states2 = load_checkpoint(path)
+        assert it == 123
+        assert plan2 == plan
+        assert states2[3].sparsity == 0.7
+        assert states2[5].frozen
+
+    def test_reshard_on_restore(self, tmp_path):
+        """Re-pack-with-restart: restore onto fewer workers."""
+        plan = PipelinePlan.uniform(12, 6)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, 5, plan, fresh_states(12))
+        _, plan2, _ = load_checkpoint(path, num_stages=3)
+        assert plan2.num_stages == 3
+        assert plan2.num_layers == 12

@@ -1,0 +1,109 @@
+"""Tests for the Gantt visualizer and hierarchical collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CommCostModel, h100_cluster
+from repro.cluster.hierarchy import (
+    flat_vs_hierarchical,
+    hierarchical_allreduce_time,
+    pipeline_comm_cost,
+    topology_aware_stage_ranks,
+)
+from repro.model.cost import fresh_states
+from repro.pipeline import PipelineEngine, PipelinePlan
+from repro.pipeline.visualize import bubble_summary, render_gantt
+
+
+class TestGantt:
+    def _result(self, cost, states):
+        eng = PipelineEngine(cost, None, schedule="1f1b", num_micro=4, record_timeline=True)
+        return eng.run_iteration(PipelinePlan.uniform(26, 4), states)
+
+    def test_render_shape(self, gpt24_cost, gpt24_states):
+        res = self._result(gpt24_cost, gpt24_states)
+        chart = render_gantt(res, width=40)
+        assert len(chart.grid) == 4
+        assert all(len(r) == 40 for r in chart.grid)
+        assert set("".join(chart.grid)) <= {"F", "B", "W", "."}
+
+    def test_first_worker_starts_busy(self, gpt24_cost, gpt24_states):
+        res = self._result(gpt24_cost, gpt24_states)
+        chart = render_gantt(res, width=40)
+        assert chart.grid[0][0] == "F"
+        # deeper stages start idle (warm-up)
+        assert chart.grid[3][0] == "."
+
+    def test_occupancy_tracks_busy(self, gpt24_cost, gpt24_states):
+        res = self._result(gpt24_cost, gpt24_states)
+        chart = render_gantt(res, width=200)
+        for wkr in range(4):
+            measured = res.busy[wkr] / res.makespan
+            assert chart.occupancy(wkr) == pytest.approx(measured, abs=0.08)
+
+    def test_requires_timeline(self, gpt24_cost, gpt24_states):
+        eng = PipelineEngine(gpt24_cost, None, num_micro=2)
+        res = eng.run_iteration(PipelinePlan.uniform(26, 2), gpt24_states)
+        with pytest.raises(ValueError):
+            render_gantt(res)
+
+    def test_invalid_width(self, gpt24_cost, gpt24_states):
+        res = self._result(gpt24_cost, gpt24_states)
+        with pytest.raises(ValueError):
+            render_gantt(res, width=0)
+
+    def test_bubble_summary(self, gpt24_cost, gpt24_states):
+        res = self._result(gpt24_cost, gpt24_states)
+        rows = bubble_summary(res)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["busy_ms"] > 0
+            assert 0 <= row["idle_frac"] <= 1
+
+
+class TestHierarchicalAllreduce:
+    def test_beats_flat_across_nodes(self):
+        topo = h100_cluster(8, 4)
+        comm = CommCostModel(topo)
+        ranks = list(range(32))
+        row = flat_vs_hierarchical(comm, ranks, 1e9)
+        assert row["hierarchical_s"] < row["flat_s"]
+        assert row["speedup"] > 1.0
+
+    def test_single_node_falls_back_to_flat(self, small_cluster):
+        comm = CommCostModel(small_cluster)
+        ranks = [0, 1, 2, 3]
+        assert hierarchical_allreduce_time(comm, ranks, 1e8) == pytest.approx(
+            comm.allreduce_time(ranks, 1e8)
+        )
+
+    def test_zero_cases(self, comm):
+        assert hierarchical_allreduce_time(comm, [0], 1e8) == 0.0
+        assert hierarchical_allreduce_time(comm, [0, 4], 0.0) == 0.0
+
+
+class TestTopologyAwarePlacement:
+    def test_pack_keeps_neighbors_on_node(self, small_cluster):
+        ranks = topology_aware_stage_ranks(small_cluster, 8, "pack")
+        assert ranks == list(range(8))
+
+    def test_spread_round_robins(self, small_cluster):
+        ranks = topology_aware_stage_ranks(small_cluster, 4, "spread")
+        nodes = [small_cluster.node_of(r) for r in ranks]
+        assert nodes == [0, 1, 0, 1]
+
+    def test_pack_cheaper_pipeline_traffic(self, small_cluster):
+        comm = CommCostModel(small_cluster)
+        pack = topology_aware_stage_ranks(small_cluster, 8, "pack")
+        spread = topology_aware_stage_ranks(small_cluster, 8, "spread")
+        assert pipeline_comm_cost(comm, pack, 1e7) < pipeline_comm_cost(
+            comm, spread, 1e7
+        )
+
+    def test_too_many_stages_raises(self, small_cluster):
+        with pytest.raises(ValueError):
+            topology_aware_stage_ranks(small_cluster, 100)
+
+    def test_unknown_policy_raises(self, small_cluster):
+        with pytest.raises(ValueError):
+            topology_aware_stage_ranks(small_cluster, 4, "random")
