@@ -10,21 +10,35 @@
 from __future__ import annotations
 
 from repro.experiments import ascii_table
-from repro.experiments.common import build_scenario, run_training
+from repro.orchestrator import RunSpec, run_specs, run_specs_by
+
+SCENARIO_NAMES = ("pruning", "freezing", "early_exit")
+
+
+def _base(name: str) -> RunSpec:
+    return RunSpec(
+        scenario=name, mode="dynmo-partition", num_layers=24,
+        pp_stages=8, dp_ways=1, iterations=150,
+    )
 
 
 def _weights_ablation():
+    specs = [
+        _base(name).with_(weight_by=wb)
+        for name in SCENARIO_NAMES
+        for wb in ("time", "param")
+    ]
+    by_spec = run_specs_by(specs)
     rows = []
-    for name in ("pruning", "freezing", "early_exit"):
-        setup = build_scenario(name, num_layers=24, pp_stages=8, dp_ways=1, iterations=150)
-        t = run_training(setup, mode="dynmo-partition", weight_by="time")
-        p = run_training(setup, mode="dynmo-partition", weight_by="param")
+    for name in SCENARIO_NAMES:
+        t = by_spec[_base(name).with_(weight_by="time")].unwrap()
+        p = by_spec[_base(name).with_(weight_by="param")].unwrap()
         rows.append(
             {
                 "scenario": name,
-                "by_time_tps": t.tokens_per_s,
-                "by_param_tps": p.tokens_per_s,
-                "time_over_param": t.tokens_per_s / p.tokens_per_s,
+                "by_time_tps": t["tokens_per_s"],
+                "by_param_tps": p["tokens_per_s"],
+                "time_over_param": t["tokens_per_s"] / p["tokens_per_s"],
             }
         )
     return rows
@@ -41,18 +55,23 @@ def test_time_vs_param_weights(once):
 
 
 def _partition_vs_diffusion():
+    specs = [
+        _base(name).with_(mode=mode)
+        for name in SCENARIO_NAMES
+        for mode in ("dynmo-partition", "dynmo-diffusion")
+    ]
+    by_spec = run_specs_by(specs)
     rows = []
-    for name in ("pruning", "freezing", "early_exit"):
-        setup = build_scenario(name, num_layers=24, pp_stages=8, dp_ways=1, iterations=150)
-        part = run_training(setup, mode="dynmo-partition")
-        diff = run_training(setup, mode="dynmo-diffusion")
+    for name in SCENARIO_NAMES:
+        part = by_spec[_base(name).with_(mode="dynmo-partition")].unwrap()
+        diff = by_spec[_base(name).with_(mode="dynmo-diffusion")].unwrap()
         rows.append(
             {
                 "scenario": name,
-                "partition_tps": part.tokens_per_s,
-                "diffusion_tps": diff.tokens_per_s,
-                "partition_bubble": part.mean_bubble_ratio,
-                "diffusion_bubble": diff.mean_bubble_ratio,
+                "partition_tps": part["tokens_per_s"],
+                "diffusion_tps": diff["tokens_per_s"],
+                "partition_bubble": part["mean_bubble_ratio"],
+                "diffusion_bubble": diff["mean_bubble_ratio"],
             }
         )
     return rows
@@ -70,14 +89,18 @@ def test_partition_vs_diffusion(once):
 
 
 def _repack_contribution():
-    setup = build_scenario("pruning", num_layers=24, pp_stages=8, dp_ways=1, iterations=200)
-    static = run_training(setup, mode="megatron")
-    bal = run_training(setup, mode="dynmo-diffusion")
-    packed = run_training(setup, mode="dynmo-diffusion", repack=True, repack_target=4)
+    base = _base("pruning").with_(iterations=200)
+    static, bal, packed = run_specs(
+        [
+            base.with_(mode="megatron"),
+            base.with_(mode="dynmo-diffusion"),
+            base.with_(mode="dynmo-diffusion", repack=True, repack_target=4),
+        ]
+    )
     return {
-        "static_tps": static.tokens_per_s,
-        "balanced_tps": bal.tokens_per_s,
-        "balanced_repacked_tps": packed.tokens_per_s,
+        "static_tps": static.unwrap()["tokens_per_s"],
+        "balanced_tps": bal.unwrap()["tokens_per_s"],
+        "balanced_repacked_tps": packed.unwrap()["tokens_per_s"],
     }
 
 

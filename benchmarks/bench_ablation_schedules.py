@@ -10,26 +10,33 @@ removes dynamic ones.
 
 from __future__ import annotations
 
-from repro.dynamics.base import StaticScheme
 from repro.experiments import ascii_table
-from repro.experiments.common import build_scenario, run_training
+from repro.orchestrator import RunSpec, run_specs_by
+
+SCHEDULES = ("gpipe", "1f1b", "zb")
 
 
 def _run():
+    base = RunSpec(
+        scenario="early_exit", mode="megatron", num_layers=24,
+        pp_stages=8, dp_ways=1, iterations=80,
+    )
+    specs = []
+    for sched in SCHEDULES:
+        specs.append(base.with_(schedule=sched))
+        specs.append(base.with_(schedule=sched, static_scheme=True))
+    by_spec = run_specs_by(specs)
     rows = []
-    setup = build_scenario("early_exit", num_layers=24, pp_stages=8, dp_ways=1, iterations=80)
-    for sched in ("gpipe", "1f1b", "zb"):
-        dyn = run_training(setup, mode="megatron", schedule=sched)
-        static = run_training(
-            setup, mode="megatron", schedule=sched, scheme=StaticScheme(setup.specs)
-        )
+    for sched in SCHEDULES:
+        dyn = by_spec[base.with_(schedule=sched)].unwrap()
+        static = by_spec[base.with_(schedule=sched, static_scheme=True)].unwrap()
         rows.append(
             {
                 "schedule": sched,
-                "static_bubble": static.mean_bubble_ratio,
-                "dynamic_bubble": dyn.mean_bubble_ratio,
-                "excess_bubble": dyn.mean_bubble_ratio - static.mean_bubble_ratio,
-                "dynamic_tps": dyn.tokens_per_s,
+                "static_bubble": static["mean_bubble_ratio"],
+                "dynamic_bubble": dyn["mean_bubble_ratio"],
+                "excess_bubble": dyn["mean_bubble_ratio"] - static["mean_bubble_ratio"],
+                "dynamic_tps": dyn["tokens_per_s"],
             }
         )
     return rows

@@ -33,13 +33,15 @@ def test_fig3_pruning(once):
 
 def test_fig3_pruning_time_beats_param(once):
     """Section 5.1: execution-time weights beat parameter counts."""
-    from repro.experiments.common import build_scenario, run_training
+    from repro.orchestrator import RunSpec, run_specs
 
     def run():
-        setup = build_scenario("pruning", num_layers=24, pp_stages=8, dp_ways=1, iterations=200)
-        t = run_training(setup, mode="dynmo-partition", weight_by="time")
-        p = run_training(setup, mode="dynmo-partition", weight_by="param")
-        return t.tokens_per_s, p.tokens_per_s
+        base = RunSpec(
+            scenario="pruning", mode="dynmo-partition", num_layers=24,
+            pp_stages=8, dp_ways=1, iterations=200,
+        )
+        t, p = run_specs([base, base.with_(weight_by="param")])
+        return t.unwrap()["tokens_per_s"], p.unwrap()["tokens_per_s"]
 
     by_time, by_param = once(run)
     print(f"\npruning: by-time {by_time:,.0f} vs by-param {by_param:,.0f} tokens/s")

@@ -5,15 +5,22 @@
     python -m repro.cli fig4 --scenario pruning
     python -m repro.cli overhead
     python -m repro.cli gantt --scenario early_exit --balanced
+    python -m repro.cli sweep --mode megatron dynmo-partition --jobs 8
 
-Every sub-command prints the reproduced table; ``--paper-scale``
-switches to the paper's full 16/24-stage pipelines (slow).
+Every sub-command prints the reproduced table; ``sweep --paper-scale``
+switches to the paper's full 16/24-stage pipelines (slow).  ``sweep``
+fans the full (scenario x mode x depth x seed) grid out over a
+process pool and caches results on disk keyed by each run's content
+hash — re-running a sweep only executes changed variants.
+``--no-cache`` forces every run to execute (cache entries are still
+refreshed on the way out).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments import (
     SCENARIOS,
@@ -23,6 +30,17 @@ from repro.experiments import (
     run_figure4_repacking,
     run_overhead_table,
 )
+from repro.orchestrator import (
+    MODES,
+    ResultCache,
+    RunSpec,
+    SweepRunner,
+    records_to_rows,
+    write_csv,
+    write_json,
+)
+
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -32,54 +50,149 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--iterations", type=int, default=150)
 
 
-def cmd_fig1(args) -> int:
-    rows = run_figure1(
-        scenarios=args.scenario,
-        num_layers=args.layers[0],
-        iterations=args.iterations,
-        pp_stages=args.stages,
+def _add_runner_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep pool "
+             "(default: 1 = in-process for figure commands, all cores for sweep)",
     )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="serve identical runs from this result cache directory",
+    )
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-run time budget (sweep records over-budget runs as "
+                        "failed rows; figure commands abort on them)")
+    p.add_argument(
+        "--balance-cost", default="modeled", choices=["modeled", "measured"],
+        help="charge the balancer's analytic (reproducible) or real "
+             "wall-clock cost as overhead",
+    )
+
+
+def _runner_from_args(args, progress=None) -> SweepRunner:
+    cache = ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        timeout_s=args.timeout,
+        progress=progress,
+        refresh=bool(getattr(args, "no_cache", False)),
+    )
+
+
+def cmd_fig1(args) -> int:
+    with _runner_from_args(args) as runner:
+        rows = run_figure1(
+            scenarios=args.scenario,
+            num_layers=args.layers[0],
+            iterations=args.iterations,
+            pp_stages=args.stages,
+            balance_cost=args.balance_cost,
+            runner=runner,
+        )
     print(ascii_table(rows, title="Figure 1 — GPU idleness by dynamism type"))
     return 0
 
 
 def cmd_fig3(args) -> int:
     rows = []
-    for scenario in args.scenario:
-        for layers in args.layers:
-            rows.append(
-                run_figure3_scenario(
-                    scenario,
-                    num_layers=layers,
-                    pp_stages=args.stages,
-                    dp_ways=args.dp,
-                    iterations=args.iterations,
+    with _runner_from_args(args) as runner:
+        for scenario in args.scenario:
+            for layers in args.layers:
+                rows.append(
+                    run_figure3_scenario(
+                        scenario,
+                        num_layers=layers,
+                        pp_stages=args.stages,
+                        dp_ways=args.dp,
+                        iterations=args.iterations,
+                        balance_cost=args.balance_cost,
+                        runner=runner,
+                    )
                 )
-            )
     print(ascii_table(rows, title="Figure 3 — end-to-end throughput (tokens/sec)"))
     return 0
 
 
 def cmd_fig4(args) -> int:
-    for scenario in args.scenario:
-        rows = run_figure4_repacking(
-            scenario,
-            num_layers=args.layers[0],
-            iterations=args.iterations,
-            gpu_counts=tuple(args.gpus),
-        )
-        print(ascii_table(rows, title=f"Figure 4 — re-packing ({scenario})"))
+    with _runner_from_args(args) as runner:
+        for scenario in args.scenario:
+            rows = run_figure4_repacking(
+                scenario,
+                num_layers=args.layers[0],
+                iterations=args.iterations,
+                gpu_counts=tuple(args.gpus),
+                balance_cost=args.balance_cost,
+                runner=runner,
+            )
+            print(ascii_table(rows, title=f"Figure 4 — re-packing ({scenario})"))
     return 0
 
 
 def cmd_overhead(args) -> int:
-    rows = run_overhead_table(
-        scenarios=tuple(args.scenario),
-        num_layers=args.layers[0],
-        iterations=args.iterations,
-    )
+    with _runner_from_args(args) as runner:
+        rows = run_overhead_table(
+            scenarios=tuple(args.scenario),
+            num_layers=args.layers[0],
+            iterations=args.iterations,
+            balance_cost=args.balance_cost,
+            runner=runner,
+        )
     print(ascii_table(rows, title="Figure 4 — load-balancing overhead"))
     return 0
+
+
+def cmd_sweep(args) -> int:
+    specs = [
+        RunSpec(
+            scenario=scenario,
+            mode=mode,
+            num_layers=layers,
+            pp_stages=args.stages,
+            dp_ways=args.dp,
+            iterations=args.iterations,
+            seed=seed,
+            schedule=args.schedule,
+            balance_cost=args.balance_cost,
+            paper_scale=args.paper_scale,
+        )
+        for scenario in args.scenario
+        for mode in args.mode
+        for layers in args.layers
+        for seed in args.seeds
+    ]
+
+    def progress(done: int, total: int, record) -> None:
+        origin = "cache" if record.cached else f"{record.duration_s:.1f}s"
+        print(
+            f"[{done}/{total}] {record.status:<7} {record.spec.label:<40} "
+            f"({origin})",
+            flush=True,
+        )
+
+    t0 = time.perf_counter()
+    with _runner_from_args(args, progress=progress) as runner:
+        records = runner.run(specs)
+    wall = time.perf_counter() - t0
+
+    rows = records_to_rows(records)
+    columns = [
+        "scenario", "mode", "num_layers", "seed", "spec_hash", "status",
+        "cached", "tokens_per_s", "mean_bubble_ratio", "duration_s",
+    ]
+    print(ascii_table(rows, columns=columns, title="Sweep results"))
+    n_ok = sum(r.ok for r in records)
+    n_cached = sum(r.cached for r in records)
+    print(
+        f"{len(records)} runs: {n_ok} ok, {len(records) - n_ok} failed, "
+        f"{n_cached} from cache, {wall:.1f}s wall, jobs={runner.jobs}"
+    )
+    if args.json:
+        print(f"wrote {write_json(records, args.json)}")
+    if args.csv:
+        print(f"wrote {write_csv(records, args.csv)}")
+    return 0 if n_ok == len(records) else 1
 
 
 def cmd_gantt(args) -> int:
@@ -129,26 +242,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     p1 = sub.add_parser("fig1", help="Figure 1: idleness by dynamism type")
     _add_common(p1)
+    _add_runner_flags(p1)
     p1.add_argument("--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
     p1.set_defaults(fn=cmd_fig1)
 
     p3 = sub.add_parser("fig3", help="Figure 3: end-to-end throughput")
     _add_common(p3)
+    _add_runner_flags(p3)
     p3.add_argument("--scenario", nargs="+", default=["pruning"], choices=SCENARIOS)
     p3.set_defaults(fn=cmd_fig3)
 
     p4 = sub.add_parser("fig4", help="Figure 4: re-packing sweep")
     _add_common(p4)
+    _add_runner_flags(p4)
     p4.add_argument("--scenario", nargs="+", default=["pruning"], choices=SCENARIOS)
     p4.add_argument("--gpus", type=int, nargs="+", default=[8, 6, 4, 2])
     p4.set_defaults(fn=cmd_fig4)
 
     po = sub.add_parser("overhead", help="Figure 4 right: balancing overhead")
     _add_common(po)
+    _add_runner_flags(po)
     po.add_argument(
         "--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS
     )
     po.set_defaults(fn=cmd_overhead)
+
+    ps = sub.add_parser(
+        "sweep",
+        help="run a (scenario x mode x depth x seed) grid via the process pool",
+    )
+    _add_common(ps)
+    _add_runner_flags(ps)
+    ps.add_argument("--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
+    ps.add_argument(
+        "--mode", nargs="+", default=["megatron", "dynmo-partition"], choices=MODES
+    )
+    ps.add_argument("--seeds", type=int, nargs="+", default=[0])
+    ps.add_argument("--schedule", default="zb", choices=["gpipe", "1f1b", "zb"])
+    ps.add_argument(
+        "--paper-scale", action="store_true",
+        help="run the paper's full 16/24-stage, 10k-iteration grids (slow)",
+    )
+    ps.add_argument("--json", default=None, help="write full records to this JSON file")
+    ps.add_argument("--csv", default=None, help="write flat rows to this CSV file")
+    ps.add_argument(
+        "--no-cache", action="store_true",
+        help="re-execute every run, refreshing any cached entries",
+    )
+    ps.set_defaults(fn=cmd_sweep, jobs=None, cache_dir=DEFAULT_CACHE_DIR)
 
     pg = sub.add_parser("gantt", help="render one iteration as ASCII Gantt")
     _add_common(pg)

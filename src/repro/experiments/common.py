@@ -193,6 +193,7 @@ def run_training(
     initial_plan: PipelinePlan | None = None,
     scheme: DynamismScheme | None = None,
     job_manager: ElasticJobManager | None = None,
+    balance_cost: str = "measured",
 ) -> TrainingResult:
     """Run one configuration.
 
@@ -236,6 +237,7 @@ def run_training(
             DynMoConfig(
                 balancer=balancer,
                 weight_by=weight_by,
+                balance_cost=balance_cost,
                 repack=repack,
                 repack_target_workers=repack_target,
                 repack_force_target=repack_force,

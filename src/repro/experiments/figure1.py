@@ -7,6 +7,10 @@ model depth, run a short training window on the static plan and report
 the mean bubble ratio, alongside the static dense model's inherent
 bubble for reference.
 
+Each (scheme, control) pair is expressed as two RunSpecs and executed
+through the sweep orchestrator, so a parallel/cached runner can be
+passed in by the CLI.
+
 Expected shapes (paper): MoE ~25%, MoD ~18%, freezing ~40%,
 pruning up to ~5x over dense, sparse attention ~4x over dense,
 early exit up to ~5x over no-exit.
@@ -14,11 +18,7 @@ early exit up to ~5x over no-exit.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.baselines.megatron import megatron_uniform_plan
-from repro.dynamics.base import StaticScheme
-from repro.experiments.common import ScenarioSetup, build_scenario, run_training
+from repro.orchestrator import RunSpec, SweepRunner, run_specs
 
 
 def run_figure1(
@@ -26,31 +26,46 @@ def run_figure1(
     num_layers: int = 24,
     iterations: int = 120,
     pp_stages: int = 8,
+    balance_cost: str = "modeled",
+    runner: SweepRunner | None = None,
 ) -> list[dict]:
     """Returns one row per scheme: mean bubble ratio vs dense baseline."""
     from repro.experiments.common import SCENARIOS
 
-    rows: list[dict] = []
-    for name in scenarios or SCENARIOS:
-        setup = build_scenario(
-            name, num_layers=num_layers, pp_stages=pp_stages, dp_ways=1,
-            iterations=iterations,
-        )
+    names = list(scenarios or SCENARIOS)
+    specs: list[RunSpec] = []
+    for name in names:
         # static partitioning, dynamic model -> measures dynamism bubbles
-        dyn = run_training(setup, mode="megatron")
-        # dense/no-dynamism control on the same architecture
-        static = run_training(
-            setup, mode="megatron", scheme=StaticScheme(setup.specs)
+        base = RunSpec(
+            scenario=name,
+            mode="megatron",
+            num_layers=num_layers,
+            pp_stages=pp_stages,
+            dp_ways=1,
+            iterations=iterations,
+            balance_cost=balance_cost,
         )
+        specs.append(base)
+        # dense/no-dynamism control on the same architecture
+        specs.append(base.with_(static_scheme=True))
+    by_spec = dict(zip(specs, run_specs(specs, runner)))
+
+    rows: list[dict] = []
+    for name in names:
+        dyn_spec = next(
+            s for s in specs if s.scenario == name and not s.static_scheme
+        )
+        dyn = by_spec[dyn_spec].unwrap()
+        static = by_spec[dyn_spec.with_(static_scheme=True)].unwrap()
         rows.append(
             {
                 "scheme": name,
                 "layers": num_layers,
-                "idleness_dynamic": dyn.mean_bubble_ratio,
-                "idleness_static": static.mean_bubble_ratio,
+                "idleness_dynamic": dyn["mean_bubble_ratio"],
+                "idleness_static": static["mean_bubble_ratio"],
                 "bubble_increase_x": (
-                    dyn.mean_bubble_ratio / static.mean_bubble_ratio
-                    if static.mean_bubble_ratio > 0
+                    dyn["mean_bubble_ratio"] / static["mean_bubble_ratio"]
+                    if static["mean_bubble_ratio"] > 0
                     else float("inf")
                 ),
             }

@@ -10,11 +10,15 @@ static/SoTA baseline):
 - Sparse:   Dense-attention baseline vs DynMo-balanced sparse model
 - EarlyExit: No-exit baseline vs DynMo-balanced early-exit model
 - MoD:      Megatron, DeepSpeed vs DynMo
+
+Every contender is one RunSpec; the whole panel goes through the sweep
+orchestrator so contenders run in parallel (and cache) when the caller
+provides a pooled runner.
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import ScenarioSetup, build_scenario, run_training
+from repro.orchestrator import RunSpec, SweepRunner, run_specs
 
 BASELINE_MODES = {
     "moe": ("megatron", "deepspeed", "tutel"),
@@ -28,6 +32,31 @@ BASELINE_MODES = {
 DYNMO_MODES = ("dynmo-partition", "dynmo-diffusion")
 
 
+def figure3_specs(
+    name: str,
+    num_layers: int = 24,
+    pp_stages: int = 8,
+    dp_ways: int = 2,
+    iterations: int = 300,
+    weight_by: str = "time",
+    seed: int = 0,
+    balance_cost: str = "modeled",
+) -> list[RunSpec]:
+    """All contender specs for one scenario panel, baselines first."""
+    base = RunSpec(
+        scenario=name,
+        num_layers=num_layers,
+        pp_stages=pp_stages,
+        dp_ways=dp_ways,
+        iterations=iterations,
+        seed=seed,
+        balance_cost=balance_cost,
+    )
+    specs = [base.with_(mode=m) for m in BASELINE_MODES[name]]
+    specs += [base.with_(mode=m, weight_by=weight_by) for m in DYNMO_MODES]
+    return specs
+
+
 def run_figure3_scenario(
     name: str,
     num_layers: int = 24,
@@ -35,26 +64,31 @@ def run_figure3_scenario(
     dp_ways: int = 2,
     iterations: int = 300,
     weight_by: str = "time",
+    balance_cost: str = "modeled",
+    runner: SweepRunner | None = None,
 ) -> dict:
     """Run all contenders for one scenario; returns a result row."""
-    setup = build_scenario(
+    specs = figure3_specs(
         name,
         num_layers=num_layers,
         pp_stages=pp_stages,
         dp_ways=dp_ways,
         iterations=iterations,
+        weight_by=weight_by,
+        balance_cost=balance_cost,
     )
+    records = run_specs(specs, runner)
     row: dict = {"scenario": name, "layers": num_layers}
     best_baseline = 0.0
-    for mode in BASELINE_MODES[name]:
-        res = run_training(setup, mode=mode)
-        row[mode] = res.tokens_per_s
-        best_baseline = max(best_baseline, res.tokens_per_s)
     best_dynmo = 0.0
-    for mode in DYNMO_MODES:
-        res = run_training(setup, mode=mode, weight_by=weight_by)
-        row[mode] = res.tokens_per_s
-        row[f"{mode}_bubble"] = res.mean_bubble_ratio
-        best_dynmo = max(best_dynmo, res.tokens_per_s)
+    for spec, record in zip(specs, records):
+        metrics = record.unwrap()
+        tps = metrics["tokens_per_s"]
+        row[spec.mode] = tps
+        if spec.mode in DYNMO_MODES:
+            row[f"{spec.mode}_bubble"] = metrics["mean_bubble_ratio"]
+            best_dynmo = max(best_dynmo, tps)
+        else:
+            best_baseline = max(best_baseline, tps)
     row["speedup"] = best_dynmo / best_baseline if best_baseline > 0 else float("inf")
     return row

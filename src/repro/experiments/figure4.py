@@ -9,15 +9,17 @@ when re-packing is triggered automatically.
 
 Right panel: load-balancing overhead percentage (profiling +
 balancing algorithm + migration) per scenario.
+
+Both sweeps are expressed as RunSpecs and executed through the sweep
+orchestrator; the memory-feasibility check stays in-process (it is a
+cheap analytic pass, not a training run).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.cluster.job_manager import ElasticJobManager
 from repro.cluster.memory import OutOfMemoryError
-from repro.experiments.common import ScenarioSetup, build_scenario, run_training
+from repro.experiments.common import ScenarioSetup, build_scenario
+from repro.orchestrator import RunSpec, SweepRunner, run_specs
 from repro.pipeline.plan import PipelinePlan
 
 
@@ -27,39 +29,55 @@ def run_figure4_repacking(
     iterations: int = 400,
     gpu_counts: tuple[int, ...] = (8, 6, 4, 2),
     memory_scale: float = 1.0,
+    balance_cost: str = "modeled",
+    runner: SweepRunner | None = None,
 ) -> list[dict]:
     """Sweep forced re-pack targets; one row per GPU count.
 
     ``memory_scale`` shrinks the simulated GPU memory so that OOM
     behaviour manifests at small GPU counts like in the paper.
     """
-    rows: list[dict] = []
+    max_gpus = max(gpu_counts)
     setup = build_scenario(
-        scenario, num_layers=num_layers, pp_stages=max(gpu_counts),
+        scenario, num_layers=num_layers, pp_stages=max_gpus,
         dp_ways=1, iterations=iterations,
     )
     capacity = setup.topology.gpu.memory_bytes * memory_scale
-    for target in gpu_counts:
+
+    base = RunSpec(
+        scenario=scenario,
+        mode="dynmo-diffusion",
+        num_layers=num_layers,
+        pp_stages=max_gpus,
+        dp_ways=1,
+        iterations=iterations,
+        balance_cost=balance_cost,
+    )
+    specs = [
+        base if target == max_gpus else base.with_(
+            repack=True,
+            repack_target=target,
+            repack_force=True,
+            elastic_total_gpus=max_gpus,
+        )
+        for target in gpu_counts
+    ]
+    records = run_specs(specs, runner)
+
+    rows: list[dict] = []
+    for target, record in zip(gpu_counts, records):
         row: dict = {"scenario": scenario, "layers": num_layers, "gpus": target}
         try:
-            if target == max(gpu_counts):
-                res = run_training(setup, mode="dynmo-diffusion")
-                avg_gpus = float(target)
-            else:
-                jm = ElasticJobManager(total_gpus=max(gpu_counts))
-                res = run_training(
-                    setup,
-                    mode="dynmo-diffusion",
-                    repack=True,
-                    repack_target=target,
-                    repack_force=True,
-                    job_manager=jm,
-                )
-                avg_gpus = res.average_gpus
+            if record.error_type == "OutOfMemoryError":
+                raise OutOfMemoryError(record.error or "out of memory")
+            metrics = record.unwrap()
+            avg_gpus = (
+                float(target) if target == max_gpus else metrics["average_gpus"]
+            )
             # feasibility: does the packed model fit `target` workers?
             _check_fits(setup, target, capacity)
-            row["tokens_per_s"] = res.tokens_per_s
-            row["tps_per_gpu"] = res.tokens_per_s / max(1.0, avg_gpus)
+            row["tokens_per_s"] = metrics["tokens_per_s"]
+            row["tps_per_gpu"] = metrics["tokens_per_s"] / max(1.0, avg_gpus)
             row["avg_gpus"] = avg_gpus
             row["oom"] = False
         except OutOfMemoryError:
@@ -103,21 +121,33 @@ def run_overhead_table(
     ),
     num_layers: int = 24,
     iterations: int = 200,
+    balance_cost: str = "modeled",
+    runner: SweepRunner | None = None,
 ) -> list[dict]:
     """Fig. 4 right: overhead %% and breakdown per scenario."""
-    rows = []
-    for name in scenarios:
-        setup = build_scenario(
-            name, num_layers=num_layers, pp_stages=8, dp_ways=1, iterations=iterations
+    specs = [
+        RunSpec(
+            scenario=name,
+            mode="dynmo-diffusion",
+            num_layers=num_layers,
+            pp_stages=8,
+            dp_ways=1,
+            iterations=iterations,
+            balance_cost=balance_cost,
         )
-        res = run_training(setup, mode="dynmo-diffusion")
+        for name in scenarios
+    ]
+    records = run_specs(specs, runner)
+    rows = []
+    for name, record in zip(scenarios, records):
+        metrics = record.unwrap()
         rows.append(
             {
                 "scenario": name,
                 "layers": num_layers,
-                "overhead_pct": 100.0 * res.overhead_fraction,
-                "rebalance_every": setup.rebalance_every,
-                "layers_moved": res.layers_moved,
+                "overhead_pct": 100.0 * metrics["overhead_fraction"],
+                "rebalance_every": metrics["rebalance_every"],
+                "layers_moved": metrics["layers_moved"],
             }
         )
     return rows

@@ -1,0 +1,48 @@
+"""Parallel sweep orchestration: declarative runs, pooled execution, caching.
+
+The orchestrator treats simulated training runs as *data*: a
+:class:`RunSpec` names one (scenario x mode x shape x seed) variant, a
+:class:`SweepRunner` executes batches of them — serially or over a
+process pool — and a :class:`ResultCache` keyed by the spec content
+hash makes re-runs incremental.  The figure drivers in
+``repro.experiments`` and the ``repro sweep`` CLI are both thin layers
+over this package.
+"""
+
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.export import (
+    read_json,
+    record_row,
+    records_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.orchestrator.results import RunRecord, SweepError, result_metrics
+from repro.orchestrator.runner import (
+    SweepRunner,
+    SweepTimeout,
+    execute_spec,
+    run_specs,
+    run_specs_by,
+)
+from repro.orchestrator.spec import MODES, SPEC_SCHEMA_VERSION, RunSpec
+
+__all__ = [
+    "MODES",
+    "SPEC_SCHEMA_VERSION",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "SweepError",
+    "SweepRunner",
+    "SweepTimeout",
+    "execute_spec",
+    "read_json",
+    "record_row",
+    "records_to_rows",
+    "result_metrics",
+    "run_specs",
+    "run_specs_by",
+    "write_csv",
+    "write_json",
+]

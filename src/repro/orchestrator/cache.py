@@ -1,0 +1,65 @@
+"""Disk cache for sweep results, keyed by the spec content hash.
+
+Each successful run is stored as ``<root>/<spec_hash>.json`` holding
+the full :class:`~repro.orchestrator.results.RunRecord`.  Lookups
+verify the stored spec matches the query spec field-for-field (hash
+collisions and schema drift both surface as a miss), and only ``ok``
+records are cached so failures and timeouts are always retried.
+Writes go through a temp file + :func:`os.replace`, so a crashed or
+parallel writer never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.orchestrator.results import RECORD_SCHEMA_VERSION, RunRecord
+from repro.orchestrator.spec import RunSpec
+
+
+class ResultCache:
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, spec_hash: str) -> Path:
+        return self.root / f"{spec_hash}.json"
+
+    def get(self, spec: RunSpec) -> RunRecord | None:
+        path = self._path(spec.spec_hash)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if data.get("schema") != RECORD_SCHEMA_VERSION:
+                return None
+            record = RunRecord.from_dict(data)
+        # OSError: unreadable; ValueError: bad JSON or bad encoding
+        # (JSONDecodeError and UnicodeDecodeError both subclass it);
+        # KeyError/TypeError: schema drift in a decoded entry
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if record.spec.to_dict() != spec.to_dict() or not record.ok:
+            return None
+        record.cached = True
+        return record
+
+    def put(self, record: RunRecord) -> None:
+        if not record.ok:
+            return
+        path = self._path(record.spec_hash)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(record.to_dict(), fh)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n

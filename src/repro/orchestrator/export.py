@@ -1,0 +1,90 @@
+"""Sweep result export: flat rows, JSON and CSV files.
+
+Every exported row is reproducible-by-construction: it carries the
+spec's content hash, the dynamism seed, and every spec field needed to
+re-run the exact variant with ``repro sweep``.  JSON keeps the full
+records (including convergence histories); CSV flattens to the scalar
+metrics for spreadsheets and trend dashboards.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.orchestrator.results import RECORD_SCHEMA_VERSION, RunRecord
+
+#: scalar metrics promoted into flat rows (histories stay JSON-only)
+_ROW_METRICS = (
+    "tokens_per_s",
+    "mean_bubble_ratio",
+    "overhead_fraction",
+    "layers_moved",
+    "average_gpus",
+    "final_num_stages",
+    "total_time_s",
+    "total_tokens",
+    "effective_pp_stages",
+    "effective_dp_ways",
+    "rebalance_every",
+)
+
+
+def record_row(record: RunRecord) -> dict:
+    """Flatten one record into a table/CSV row."""
+    row = {"spec_hash": record.spec_hash}
+    row.update(record.spec.to_dict())
+    row["status"] = record.status
+    row["cached"] = record.cached
+    row["duration_s"] = round(record.duration_s, 4)
+    for key in _ROW_METRICS:
+        if key in record.metrics:
+            row[key] = record.metrics[key]
+    if record.error_type:
+        row["error_type"] = record.error_type
+    return row
+
+
+def records_to_rows(records: Sequence[RunRecord]) -> list[dict]:
+    return [record_row(r) for r in records]
+
+
+def write_json(records: Sequence[RunRecord], path: str | os.PathLike) -> Path:
+    """Full-fidelity export: specs, hashes, metrics, histories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": RECORD_SCHEMA_VERSION,
+        "count": len(records),
+        "records": [r.to_dict() for r in records],
+    }
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def write_csv(records: Sequence[RunRecord], path: str | os.PathLike) -> Path:
+    """Flat scalar export, one row per run."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = records_to_rows(records)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def read_json(path: str | os.PathLike) -> list[RunRecord]:
+    with Path(path).open("r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return [RunRecord.from_dict(d) for d in payload.get("records", [])]

@@ -1,0 +1,258 @@
+"""Process-pool sweep runner with caching, timeouts and failure isolation.
+
+``execute_spec`` is the single entry point that turns a
+:class:`RunSpec` into a :class:`RunRecord`; it is a module-level
+function so a :class:`~concurrent.futures.ProcessPoolExecutor` can
+pickle it to workers.  All exceptions are captured into the record
+(``status="error"``), so one bad variant never takes down a sweep.
+Per-run timeouts use ``SIGALRM`` inside the executing process, which
+works identically for serial (``jobs=1``) and pooled execution; on
+platforms without ``SIGALRM`` the timeout is a no-op.
+
+The experiments package imports this module (the figure drivers build
+their sweeps on top of it), so the heavy experiment imports happen
+lazily inside the worker body to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import threading
+import time
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from typing import Callable, Sequence
+
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.results import RunRecord, result_metrics
+from repro.orchestrator.spec import MODES, RunSpec
+
+
+class SweepTimeout(Exception):
+    """Raised inside a worker when a run exceeds its time budget."""
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise SweepTimeout(f"exceeded {seconds:.0f}s budget")
+
+    old = signal.signal(signal.SIGALRM, _handler)
+    signal.alarm(max(1, int(math.ceil(seconds))))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _run_spec(spec: RunSpec) -> dict:
+    # deferred: repro.experiments imports repro.orchestrator for the
+    # figure drivers, so importing it at module level would be circular
+    from repro.cluster.job_manager import ElasticJobManager
+    from repro.dynamics.base import StaticScheme
+    from repro.experiments.common import build_scenario, run_training
+
+    if spec.mode not in MODES:
+        raise ValueError(f"unknown mode {spec.mode!r}; choose from {MODES}")
+    setup = build_scenario(
+        spec.scenario,
+        num_layers=spec.num_layers,
+        pp_stages=spec.pp_stages,
+        dp_ways=spec.dp_ways,
+        iterations=spec.iterations,
+        paper_scale=spec.paper_scale,
+        seed=spec.seed,
+    )
+    scheme = StaticScheme(setup.specs) if spec.static_scheme else None
+    job_manager = (
+        ElasticJobManager(total_gpus=spec.elastic_total_gpus)
+        if spec.elastic_total_gpus is not None
+        else None
+    )
+    res = run_training(
+        setup,
+        mode=spec.mode,
+        weight_by=spec.weight_by,
+        repack=spec.repack,
+        repack_target=spec.repack_target,
+        repack_force=spec.repack_force,
+        schedule=spec.schedule,
+        scheme=scheme,
+        job_manager=job_manager,
+        balance_cost=spec.balance_cost,
+    )
+    metrics = result_metrics(res)
+    # effective shape (build_scenario may widen the pipeline, e.g. MoE)
+    metrics["effective_pp_stages"] = setup.pp_stages
+    metrics["effective_dp_ways"] = setup.dp_ways
+    metrics["rebalance_every"] = setup.rebalance_every
+    return metrics
+
+
+def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunRecord:
+    """Run one spec, capturing any failure into the returned record."""
+    start = time.perf_counter()
+    try:
+        with _deadline(timeout_s):
+            metrics = _run_spec(spec)
+        return RunRecord(
+            spec=spec,
+            spec_hash=spec.spec_hash,
+            status="ok",
+            duration_s=time.perf_counter() - start,
+            metrics=metrics,
+        )
+    except SweepTimeout as exc:
+        return RunRecord(
+            spec=spec,
+            spec_hash=spec.spec_hash,
+            status="timeout",
+            duration_s=time.perf_counter() - start,
+            error=str(exc),
+            error_type="SweepTimeout",
+        )
+    except Exception as exc:
+        return RunRecord(
+            spec=spec,
+            spec_hash=spec.spec_hash,
+            status="error",
+            duration_s=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=8)}",
+            error_type=type(exc).__name__,
+        )
+
+
+ProgressFn = Callable[[int, int, RunRecord], None]
+
+
+class SweepRunner:
+    """Executes RunSpecs, serving repeats from cache and misses from a pool.
+
+    ``jobs=1`` runs inline in the calling process (no pickling, no
+    spawn overhead — what tests and small figure runs want); ``jobs>1``
+    fans misses out over a :class:`ProcessPoolExecutor`.  Results come
+    back in spec order regardless of completion order.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        timeout_s: float | None = None,
+        progress: ProgressFn | None = None,
+        refresh: bool = False,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.progress = progress
+        # refresh: skip cache reads but still write results through, so
+        # a forced re-run replaces stale entries instead of orphaning them
+        self.refresh = refresh
+        self._pool: ProcessPoolExecutor | None = None
+        if timeout_s and not hasattr(signal, "SIGALRM"):
+            warnings.warn(
+                "per-run timeouts need SIGALRM, which this platform lacks; "
+                "timeout_s will not be enforced",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
+        records: list[RunRecord | None] = [None] * len(specs)
+        done = 0
+
+        def finish(i: int, record: RunRecord) -> None:
+            nonlocal done
+            records[i] = record
+            done += 1
+            if not record.cached and self.cache is not None:
+                self.cache.put(record)
+            if self.progress is not None:
+                self.progress(done, len(specs), record)
+
+        pending: list[int] = []
+        use_cache = self.cache is not None and not self.refresh
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec) if use_cache else None
+            if hit is not None:
+                finish(i, hit)
+            else:
+                pending.append(i)
+
+        if not pending:
+            return [r for r in records if r is not None]
+
+        if self.jobs == 1 or len(pending) == 1:
+            for i in pending:
+                finish(i, execute_spec(specs[i], self.timeout_s))
+            return [r for r in records if r is not None]
+
+        # the pool is created lazily and reused across run() calls, so
+        # multi-panel drivers (fig3 over several scenarios/depths) pay
+        # worker startup once per runner, not once per panel
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        broken = False
+        futures = {
+            self._pool.submit(execute_spec, specs[i], self.timeout_s): i
+            for i in pending
+        }
+        for fut in as_completed(futures):
+            i = futures[fut]
+            try:
+                record = fut.result()
+            except Exception as exc:  # worker died (BrokenProcessPool, ...)
+                broken = True
+                record = RunRecord(
+                    spec=specs[i],
+                    spec_hash=specs[i].spec_hash,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                )
+            finish(i, record)
+        if broken:
+            # a dead worker poisons the executor; start fresh next run
+            self.close()
+        return [r for r in records if r is not None]
+
+
+def run_specs(
+    specs: Sequence[RunSpec], runner: SweepRunner | None = None
+) -> list[RunRecord]:
+    """Run specs through ``runner``, defaulting to serial + uncached."""
+    return (runner or SweepRunner()).run(specs)
+
+
+def run_specs_by(
+    specs: Sequence[RunSpec], runner: SweepRunner | None = None
+) -> dict[RunSpec, RunRecord]:
+    """Like :func:`run_specs`, keyed by spec for pairwise consumers."""
+    return dict(zip(specs, run_specs(specs, runner)))

@@ -1,0 +1,102 @@
+"""Declarative description of one simulated training run.
+
+A :class:`RunSpec` names everything that determines a run's outcome —
+scenario, contender mode, model depth, parallelism shape, dynamism
+seed, schedule, balancer knobs — as plain data.  Two properties make
+the sweep machinery work:
+
+* it is picklable, so a process pool can ship it to a worker;
+* it has a stable content hash, so a disk cache can recognise a run
+  it has already executed.
+
+The hash covers every field plus a schema version; bump
+``SPEC_SCHEMA_VERSION`` whenever the *meaning* of a field changes so
+stale cache entries are never served for new semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+
+import repro
+
+SPEC_SCHEMA_VERSION = 1
+
+#: Every contender `run_training` understands.
+MODES = (
+    "megatron",
+    "deepspeed",
+    "dynmo-partition",
+    "dynmo-diffusion",
+    "tutel",
+    "egeria",
+    "dense-baseline",
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (scenario x mode x shape x seed) variant of a training run."""
+
+    scenario: str
+    mode: str = "megatron"
+    num_layers: int = 24
+    pp_stages: int = 8
+    dp_ways: int = 1
+    iterations: int = 150
+    seed: int = 0
+    schedule: str = "zb"
+    weight_by: str = "time"
+    # "modeled" charges an analytic balance cost so orchestrated runs
+    # are bit-identical across hosts/pools (cache-coherent); "measured"
+    # restores real wall-clock overhead accounting
+    balance_cost: str = "modeled"
+    repack: bool = False
+    repack_target: int = 1
+    repack_force: bool = False
+    # run the static (no-dynamism) control on the scenario's architecture
+    static_scheme: bool = False
+    # when set, attach an ElasticJobManager with this many total GPUs
+    elastic_total_gpus: int | None = None
+    paper_scale: bool = False
+    tag: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunSpec":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+    def with_(self, **kwargs) -> "RunSpec":
+        return replace(self, **kwargs)
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable 16-hex-char content hash of the spec.
+
+        The payload folds in the schema version *and* the package
+        version, so cached results are never served across simulator
+        code releases — a version bump invalidates the whole cache.
+        """
+        payload = dict(
+            self.to_dict(),
+            _schema=SPEC_SCHEMA_VERSION,
+            _code=repro.__version__,
+        )
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(blob.encode(), digest_size=8).hexdigest()
+
+    @property
+    def label(self) -> str:
+        bits = [self.scenario, self.mode, f"{self.num_layers}L", f"s{self.seed}"]
+        if self.static_scheme:
+            bits.append("static")
+        if self.repack:
+            bits.append(f"repack{self.repack_target}")
+        if self.tag:
+            bits.append(self.tag)
+        return "/".join(bits)

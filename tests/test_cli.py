@@ -78,3 +78,59 @@ class TestCommands:
         )
         assert rc == 0
         assert "re-packing" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "sweep", "--scenario", "pruning", "freezing",
+            "--mode", "megatron", "dynmo-partition",
+            "--iterations", "30", "--stages", "4", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ]
+
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        rc = main(self._argv(tmp_path))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Sweep results" in out
+        assert "4 runs: 4 ok" in out
+        assert "0 from cache" in out
+
+    def test_sweep_rerun_is_fully_cached(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path)) == 0
+        assert "4 from cache" in capsys.readouterr().out
+
+    def test_sweep_no_cache_escape_hatch(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path, "--no-cache")) == 0
+        assert "0 from cache" in capsys.readouterr().out
+
+    def test_sweep_exports_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "out" / "sweep.json"
+        csv_path = tmp_path / "out" / "sweep.csv"
+        rc = main(self._argv(tmp_path, "--json", str(json_path), "--csv", str(csv_path)))
+        assert rc == 0
+        assert json_path.exists() and csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "spec_hash" in header and "seed" in header
+
+    def test_sweep_failure_sets_exit_code(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "--scenario", "pruning", "--mode", "dense-baseline",
+            "--iterations", "20", "--stages", "4", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 1
+        assert "1 failed" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--mode", "warp-drive"])
+
+    def test_fig_commands_accept_jobs_flag(self):
+        args = build_parser().parse_args(["fig1", "--jobs", "2"])
+        assert args.jobs == 2
