@@ -70,6 +70,27 @@ def _add_runner_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_topology_flags(p: argparse.ArgumentParser, multi: bool = False) -> None:
+    from repro.cluster.placement import PLACEMENT_STRATEGIES
+
+    placements = list(PLACEMENT_STRATEGIES)
+    if multi:
+        p.add_argument(
+            "--placement", nargs="+", default=["packed"], choices=placements,
+            help="stage→rank placement strategies to sweep over",
+        )
+    else:
+        p.add_argument(
+            "--placement", default="packed", choices=placements,
+            help="stage→rank placement strategy",
+        )
+    p.add_argument(
+        "--cluster", default=None, metavar="SPEC",
+        help="cluster topology spec, e.g. '4x4' or '2x8+2x4' for mixed "
+             "node sizes (default: auto-sized homogeneous 4-GPU nodes)",
+    )
+
+
 def _runner_from_args(args, progress=None) -> SweepRunner:
     cache = ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
     return SweepRunner(
@@ -90,6 +111,8 @@ def cmd_fig1(args) -> int:
             pp_stages=args.stages,
             balance_cost=args.balance_cost,
             runner=runner,
+            placement=args.placement,
+            cluster=args.cluster or "",
         )
     print(ascii_table(rows, title="Figure 1 — GPU idleness by dynamism type"))
     return 0
@@ -109,6 +132,8 @@ def cmd_fig3(args) -> int:
                         iterations=args.iterations,
                         balance_cost=args.balance_cost,
                         runner=runner,
+                        placement=args.placement,
+                        cluster=args.cluster or "",
                     )
                 )
     print(ascii_table(rows, title="Figure 3 — end-to-end throughput (tokens/sec)"))
@@ -125,6 +150,8 @@ def cmd_fig4(args) -> int:
                 gpu_counts=tuple(args.gpus),
                 balance_cost=args.balance_cost,
                 runner=runner,
+                placement=args.placement,
+                cluster=args.cluster or "",
             )
             print(ascii_table(rows, title=f"Figure 4 — re-packing ({scenario})"))
     return 0
@@ -138,6 +165,8 @@ def cmd_overhead(args) -> int:
             iterations=args.iterations,
             balance_cost=args.balance_cost,
             runner=runner,
+            placement=args.placement,
+            cluster=args.cluster or "",
         )
     print(ascii_table(rows, title="Figure 4 — load-balancing overhead"))
     return 0
@@ -156,11 +185,17 @@ def cmd_sweep(args) -> int:
             schedule=args.schedule,
             balance_cost=args.balance_cost,
             paper_scale=args.paper_scale,
+            placement=placement,
+            cluster=args.cluster or "",
+            repack=args.repack,
+            repack_target=args.repack_target,
+            repack_force=args.repack_force,
         )
         for scenario in args.scenario
         for mode in args.mode
         for layers in args.layers
         for seed in args.seeds
+        for placement in args.placement
     ]
 
     def progress(done: int, total: int, record) -> None:
@@ -181,6 +216,10 @@ def cmd_sweep(args) -> int:
         "scenario", "mode", "num_layers", "seed", "spec_hash", "status",
         "cached", "tokens_per_s", "mean_bubble_ratio", "duration_s",
     ]
+    if args.placement != ["packed"]:
+        columns.insert(4, "placement")
+    if args.repack:
+        columns.append("surviving_ranks")
     print(ascii_table(rows, columns=columns, title="Sweep results"))
     n_ok = sum(r.ok for r in records)
     n_cached = sum(r.cached for r in records)
@@ -243,18 +282,21 @@ def build_parser() -> argparse.ArgumentParser:
     p1 = sub.add_parser("fig1", help="Figure 1: idleness by dynamism type")
     _add_common(p1)
     _add_runner_flags(p1)
+    _add_topology_flags(p1)
     p1.add_argument("--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
     p1.set_defaults(fn=cmd_fig1)
 
     p3 = sub.add_parser("fig3", help="Figure 3: end-to-end throughput")
     _add_common(p3)
     _add_runner_flags(p3)
+    _add_topology_flags(p3)
     p3.add_argument("--scenario", nargs="+", default=["pruning"], choices=SCENARIOS)
     p3.set_defaults(fn=cmd_fig3)
 
     p4 = sub.add_parser("fig4", help="Figure 4: re-packing sweep")
     _add_common(p4)
     _add_runner_flags(p4)
+    _add_topology_flags(p4)
     p4.add_argument("--scenario", nargs="+", default=["pruning"], choices=SCENARIOS)
     p4.add_argument("--gpus", type=int, nargs="+", default=[8, 6, 4, 2])
     p4.set_defaults(fn=cmd_fig4)
@@ -262,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     po = sub.add_parser("overhead", help="Figure 4 right: balancing overhead")
     _add_common(po)
     _add_runner_flags(po)
+    _add_topology_flags(po)
     po.add_argument(
         "--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS
     )
@@ -279,6 +322,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--seeds", type=int, nargs="+", default=[0])
     ps.add_argument("--schedule", default="zb", choices=["gpipe", "1f1b", "zb"])
+    _add_topology_flags(ps, multi=True)
+    ps.add_argument(
+        "--repack", action="store_true",
+        help="enable DynMo re-packing (dynmo-* modes); rows record the "
+             "surviving GPU ranks",
+    )
+    ps.add_argument("--repack-target", type=int, default=1, metavar="N",
+                    help="minimum worker count re-packing may shrink to")
+    ps.add_argument("--repack-force", action="store_true",
+                    help="force packing to --repack-target regardless of load")
     ps.add_argument(
         "--paper-scale", action="store_true",
         help="run the paper's full 16/24-stage, 10k-iteration grids (slow)",

@@ -13,9 +13,19 @@ Replaces the paper's 720×H100 testbed with analytic models:
 - :mod:`job_manager` — ECK-style elastic GPU request/release ledger.
 """
 
-from repro.cluster.topology import GPUSpec, Link, Node, ClusterTopology, h100_node, h100_cluster
+from repro.cluster.topology import (
+    GPUSpec,
+    Link,
+    Node,
+    ClusterTopology,
+    h100_node,
+    h100_cluster,
+    hetero_cluster,
+    parse_cluster,
+)
 from repro.cluster.collectives import CommCostModel
 from repro.cluster.memory import MemoryTracker, OutOfMemoryError
+from repro.cluster.placement import PLACEMENT_STRATEGIES, Placement, make_placement
 from repro.cluster.simcomm import SimComm, SimWorld
 from repro.cluster.job_manager import ElasticJobManager
 
@@ -26,9 +36,14 @@ __all__ = [
     "ClusterTopology",
     "h100_node",
     "h100_cluster",
+    "hetero_cluster",
+    "parse_cluster",
     "CommCostModel",
     "MemoryTracker",
     "OutOfMemoryError",
+    "PLACEMENT_STRATEGIES",
+    "Placement",
+    "make_placement",
     "SimComm",
     "SimWorld",
     "ElasticJobManager",

@@ -69,10 +69,9 @@ def topology_aware_stage_ranks(
     if stride_policy == "pack":
         return list(range(num_stages))
     if stride_policy == "spread":
-        g = topo.gpus_per_node
-        n = topo.num_nodes
-        order = [node * g + slot for slot in range(g) for node in range(n)]
-        return order[:num_stages]
+        from repro.cluster.placement import node_interleaved_order
+
+        return node_interleaved_order(topo)[:num_stages]
     raise ValueError(f"unknown stride_policy {stride_policy!r}")
 
 

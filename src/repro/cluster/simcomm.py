@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, Sequence
 
 
@@ -28,6 +29,11 @@ class SimWorld:
         self._mailboxes: dict[tuple, queue.Queue] = {}
         self._barriers: dict[str, threading.Barrier] = {}
         self._shared: dict[str, Any] = {}
+        # every run() namespaces its traffic with a generation id so a
+        # timed-out run's stragglers (threads still blocked on recv,
+        # undelivered messages, half-full barriers) can never be
+        # observed by a later run.
+        self._generation = 0
 
     # -- plumbing ---------------------------------------------------------
     def _box(self, key: tuple) -> queue.Queue:
@@ -51,21 +57,51 @@ class SimWorld:
         """
         results: list[Any] = [None] * self.size
         errors: list[BaseException | None] = [None] * self.size
+        with self._lock:
+            self._generation += 1
+            gen = self._generation
+            # drop previous generations' mailboxes/barriers so a
+            # long-lived world doesn't accumulate dead queues; stragglers
+            # hold their own references and can never reach the new
+            # namespace anyway
+            self._mailboxes = {}
+            self._barriers = {}
 
         def worker(rank: int) -> None:
-            comm = SimComm(self, rank, ns="world", ranks=list(range(self.size)))
+            comm = SimComm(
+                self, rank, ns=f"g{gen}:world", ranks=list(range(self.size))
+            )
             try:
                 results[rank] = fn(comm, *args)
             except BaseException as exc:  # noqa: BLE001 - report to caller
                 errors[rank] = exc
 
-        threads = [threading.Thread(target=worker, args=(r,)) for r in range(self.size)]
+        # daemon: stragglers of a timed-out run (threads still parked
+        # on a recv or half-full barrier) must never block process exit
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True)
+            for r in range(self.size)
+        ]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join(timeout=timeout)
-        if any(t.is_alive() for t in threads):
-            raise TimeoutError("SimWorld.run: ranks did not finish (deadlock?)")
+        deadline = time.monotonic() + timeout
+        while any(t.is_alive() for t in threads):
+            if any(e is not None for e in errors):
+                # one rank failed: peers may be parked on traffic that
+                # will never arrive.  Give them a short grace period,
+                # then abandon them — their generation's namespace is
+                # dead, so late sends/receives cannot reach later runs.
+                grace = time.monotonic() + 0.2
+                while any(t.is_alive() for t in threads) and time.monotonic() < grace:
+                    time.sleep(0.005)
+                break
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "SimWorld.run: ranks did not finish (deadlock?)"
+                )
+            time.sleep(0.005)
+        # the watch loop only breaks once a rank recorded an error, so
+        # reaching here with all threads dead means success or failure
         for exc in errors:
             if exc is not None:
                 raise exc

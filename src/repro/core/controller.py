@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.collectives import CommCostModel
+from repro.cluster.placement import Placement
 from repro.core.balancers import (
     DiffusionBalancer,
     DPExactBalancer,
@@ -122,9 +123,12 @@ class DynMoConfig:
 @dataclass
 class DynMoDecision:
     plan: PipelinePlan
+    #: the balancer changed the partition (re-pack alone does not count)
     rebalanced: bool = False
     repacked: bool = False
-    released_workers: list[int] = field(default_factory=list)
+    released_workers: list[int] = field(default_factory=list)  # stage indices
+    released_ranks: list[int] = field(default_factory=list)  # global GPU ranks
+    placement: Placement | None = None  # post-decision stage→rank map
     overhead_s: float = 0.0
     layers_moved: int = 0
     report: ProfileReport | None = None
@@ -138,10 +142,14 @@ class DynMoController:
         config: DynMoConfig | None = None,
         profiler: PipelineProfiler | None = None,
         balancer_override: LoadBalancer | None = None,
+        placement: Placement | None = None,
     ) -> None:
         self.cost = cost
         self.comm = comm
         self.config = config or DynMoConfig()
+        # current stage→rank map; shrinks in place when a re-pack
+        # releases workers so later migrations price the real links
+        self.placement = placement
         self.profiler = profiler or PipelineProfiler(cost)
         self.balancer_override = balancer_override
         self.timers = TimerSet()
@@ -193,6 +201,8 @@ class DynMoController:
         if self._initial_per_stage_load is None:
             self._initial_per_stage_load = total_load / plan.num_stages
         work_plan = plan
+        old_placement = self.placement
+        new_placement = self.placement
         if self.config.repack and capacity is not None:
             if self.config.repack_force_target:
                 target = self.config.repack_target_workers
@@ -213,7 +223,11 @@ class DynMoController:
             if result.num_active < plan.num_stages:
                 decision.repacked = True
                 decision.released_workers = result.released
-                self.num_repacks += 1
+                if self.placement is not None:
+                    decision.released_ranks = list(
+                        self.placement.released_ranks(result.surviving)
+                    )
+                    new_placement = self.placement.after_repack(result.surviving)
                 work_plan = new_plan
 
         # 3. balance (wall-clock measured, or analytically modeled for
@@ -221,8 +235,10 @@ class DynMoController:
         balancer = self._make_balancer(float(weights.sum()))
         timer = self.timers("balance")
         timer.start()
-        result = balancer.rebalance(work_plan, weights, mem_layers, capacity)
-        balance_cost = timer.stop()
+        try:
+            result = balancer.rebalance(work_plan, weights, mem_layers, capacity)
+        finally:
+            balance_cost = timer.stop()
         if self.config.balance_cost == "modeled":
             balance_cost = modeled_balance_cost_s(
                 self.config.balancer,
@@ -232,17 +248,29 @@ class DynMoController:
             )
         self.overhead.balance_s += balance_cost
 
-        new_plan = result.plan
+        # commit re-pack state only now: a balancer exception above must
+        # leave the controller consistent with the caller's plan
+        if decision.repacked:
+            self.placement = new_placement
+            self.num_repacks += 1
 
-        # 4. migration cost
+        new_plan = result.plan
+        decision.placement = new_placement
+
+        # 4. migration cost — priced between the ranks that actually
+        # hold the stages, before (old placement) and after (post-repack
+        # placement) the move
         if new_plan.boundaries != plan.boundaries or decision.repacked:
             migration = diff_plans(plan, new_plan, self.cost, states)
             mig_cost = migration.cost_seconds(
-                self.comm, overlap=self.config.migration_overlap
+                self.comm,
+                overlap=self.config.migration_overlap,
+                src_placement=old_placement,
+                dst_placement=new_placement,
             )
             self.overhead.migrate_s += mig_cost
             decision.layers_moved = migration.num_layers_moved
-            decision.rebalanced = True
+            decision.rebalanced = new_plan.boundaries != work_plan.boundaries
             decision.plan = new_plan
             decision.overhead_s = profile_cost + balance_cost + mig_cost
         else:

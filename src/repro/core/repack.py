@@ -35,6 +35,12 @@ class RepackResult:
     def released(self) -> list[int]:
         return [i for i, a in enumerate(self.active_workers) if a == 0]
 
+    @property
+    def surviving(self) -> list[int]:
+        """Old worker indices still active, ascending — new stage i
+        inherits old stage ``surviving[i]``'s GPUs."""
+        return [i for i, a in enumerate(self.active_workers) if a == 1]
+
 
 def first_fit_repack(
     mem_usage: list[float],

@@ -15,7 +15,7 @@ from repro.baselines.egeria import EgeriaBaseline
 from repro.baselines.tutel import TutelMoEBaseline
 from repro.cluster.collectives import CommCostModel
 from repro.cluster.job_manager import ElasticJobManager
-from repro.cluster.topology import ClusterTopology, h100_cluster
+from repro.cluster.topology import ClusterTopology, h100_cluster, parse_cluster
 from repro.core.controller import DynMoConfig, DynMoController
 from repro.dynamics.base import DynamismScheme, StaticScheme
 from repro.dynamics.early_exit import EarlyExitDynamism
@@ -78,8 +78,14 @@ def build_scenario(
     iterations: int = 400,
     paper_scale: bool = False,
     seed: int = 0,
+    cluster: str | None = None,
 ) -> ScenarioSetup:
-    """Construct a scenario with proportionally scaled dynamism."""
+    """Construct a scenario with proportionally scaled dynamism.
+
+    ``cluster`` overrides the auto-sized homogeneous testbed with a
+    :func:`~repro.cluster.topology.parse_cluster` spec string (e.g.
+    ``"2x8+2x4"`` for a mixed-node cluster).
+    """
     if name not in SCENARIOS:
         raise ValueError(f"unknown scenario {name!r}; choose from {SCENARIOS}")
     if paper_scale:
@@ -125,8 +131,16 @@ def build_scenario(
 
     specs = build_layer_specs(cfg)
     cost = ModelCost(specs)
-    nodes_needed = max(1, (pp_stages * dp_ways + 3) // 4)
-    topo = h100_cluster(nodes_needed, 4)
+    if cluster:
+        topo = parse_cluster(cluster)
+        if topo.num_gpus < pp_stages * dp_ways:
+            raise ValueError(
+                f"cluster {cluster!r} has {topo.num_gpus} GPUs; "
+                f"{pp_stages}x{dp_ways} needs {pp_stages * dp_ways}"
+            )
+    else:
+        nodes_needed = max(1, (pp_stages * dp_ways + 3) // 4)
+        topo = h100_cluster(nodes_needed, 4)
     comm = CommCostModel(topo)
 
     # dynamism-schedule scaling: the paper's cadence assumes 10k iters
@@ -194,6 +208,7 @@ def run_training(
     scheme: DynamismScheme | None = None,
     job_manager: ElasticJobManager | None = None,
     balance_cost: str = "measured",
+    placement: str | None = "packed",
 ) -> TrainingResult:
     """Run one configuration.
 
@@ -209,6 +224,7 @@ def run_training(
         dp_ways=setup.dp_ways,
         schedule=schedule,
         record_every=max(1, iters // 50),
+        placement_strategy=placement,
     )
     if scheme is None:
         if mode == "tutel":
@@ -241,7 +257,7 @@ def run_training(
                 repack=repack,
                 repack_target_workers=repack_target,
                 repack_force_target=repack_force,
-                memory_capacity_bytes=float(setup.topology.gpu.memory_bytes),
+                memory_capacity_bytes=float(setup.topology.min_memory_bytes),
             ),
         )
 

@@ -28,6 +28,8 @@ def run_figure1(
     pp_stages: int = 8,
     balance_cost: str = "modeled",
     runner: SweepRunner | None = None,
+    placement: str = "packed",
+    cluster: str = "",
 ) -> list[dict]:
     """Returns one row per scheme: mean bubble ratio vs dense baseline."""
     from repro.experiments.common import SCENARIOS
@@ -44,6 +46,8 @@ def run_figure1(
             dp_ways=1,
             iterations=iterations,
             balance_cost=balance_cost,
+            placement=placement,
+            cluster=cluster,
         )
         specs.append(base)
         # dense/no-dynamism control on the same architecture

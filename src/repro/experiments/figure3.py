@@ -41,6 +41,8 @@ def figure3_specs(
     weight_by: str = "time",
     seed: int = 0,
     balance_cost: str = "modeled",
+    placement: str = "packed",
+    cluster: str = "",
 ) -> list[RunSpec]:
     """All contender specs for one scenario panel, baselines first."""
     base = RunSpec(
@@ -51,6 +53,8 @@ def figure3_specs(
         iterations=iterations,
         seed=seed,
         balance_cost=balance_cost,
+        placement=placement,
+        cluster=cluster,
     )
     specs = [base.with_(mode=m) for m in BASELINE_MODES[name]]
     specs += [base.with_(mode=m, weight_by=weight_by) for m in DYNMO_MODES]
@@ -66,6 +70,8 @@ def run_figure3_scenario(
     weight_by: str = "time",
     balance_cost: str = "modeled",
     runner: SweepRunner | None = None,
+    placement: str = "packed",
+    cluster: str = "",
 ) -> dict:
     """Run all contenders for one scenario; returns a result row."""
     specs = figure3_specs(
@@ -76,6 +82,8 @@ def run_figure3_scenario(
         iterations=iterations,
         weight_by=weight_by,
         balance_cost=balance_cost,
+        placement=placement,
+        cluster=cluster,
     )
     records = run_specs(specs, runner)
     row: dict = {"scenario": name, "layers": num_layers}

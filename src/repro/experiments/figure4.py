@@ -31,6 +31,8 @@ def run_figure4_repacking(
     memory_scale: float = 1.0,
     balance_cost: str = "modeled",
     runner: SweepRunner | None = None,
+    placement: str = "packed",
+    cluster: str = "",
 ) -> list[dict]:
     """Sweep forced re-pack targets; one row per GPU count.
 
@@ -40,9 +42,9 @@ def run_figure4_repacking(
     max_gpus = max(gpu_counts)
     setup = build_scenario(
         scenario, num_layers=num_layers, pp_stages=max_gpus,
-        dp_ways=1, iterations=iterations,
+        dp_ways=1, iterations=iterations, cluster=cluster or None,
     )
-    capacity = setup.topology.gpu.memory_bytes * memory_scale
+    capacity = setup.topology.min_memory_bytes * memory_scale
 
     base = RunSpec(
         scenario=scenario,
@@ -52,6 +54,8 @@ def run_figure4_repacking(
         dp_ways=1,
         iterations=iterations,
         balance_cost=balance_cost,
+        placement=placement,
+        cluster=cluster,
     )
     specs = [
         base if target == max_gpus else base.with_(
@@ -123,6 +127,8 @@ def run_overhead_table(
     iterations: int = 200,
     balance_cost: str = "modeled",
     runner: SweepRunner | None = None,
+    placement: str = "packed",
+    cluster: str = "",
 ) -> list[dict]:
     """Fig. 4 right: overhead %% and breakdown per scenario."""
     specs = [
@@ -134,6 +140,8 @@ def run_overhead_table(
             dp_ways=1,
             iterations=iterations,
             balance_cost=balance_cost,
+            placement=placement,
+            cluster=cluster,
         )
         for name in scenarios
     ]

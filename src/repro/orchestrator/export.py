@@ -30,7 +30,12 @@ _ROW_METRICS = (
     "effective_pp_stages",
     "effective_dp_ways",
     "rebalance_every",
+    "placement_strategy",
 )
+
+
+def _format_ranks(ranks) -> str:
+    return "-".join(str(r) for r in ranks)
 
 
 def record_row(record: RunRecord) -> dict:
@@ -43,6 +48,9 @@ def record_row(record: RunRecord) -> dict:
     for key in _ROW_METRICS:
         if key in record.metrics:
             row[key] = record.metrics[key]
+    # surviving GPU ranks as a compact string so CSV rows stay scalar
+    if "final_stage_ranks" in record.metrics:
+        row["surviving_ranks"] = _format_ranks(record.metrics["final_stage_ranks"])
     if record.error_type:
         row["error_type"] = record.error_type
     return row

@@ -87,6 +87,12 @@ def result_metrics(res) -> dict:
         "final_num_stages": (
             int(res.final_plan.num_stages) if res.final_plan is not None else 0
         ),
+        "placement_strategy": str(res.placement_strategy),
+        "final_stage_ranks": [int(r) for r in res.final_stage_ranks],
+        "released_ranks_history": [
+            [int(k), [int(r) for r in ranks]]
+            for k, ranks in res.released_ranks_history
+        ],
         "bubble_history": [[int(k), float(b)] for k, b in res.bubble_history],
         "makespan_history": [[int(k), float(m)] for k, m in res.makespan_history],
         "stage_count_history": [[int(k), int(s)] for k, s in res.stage_count_history],

@@ -76,6 +76,7 @@ def _run_spec(spec: RunSpec) -> dict:
         iterations=spec.iterations,
         paper_scale=spec.paper_scale,
         seed=spec.seed,
+        cluster=spec.cluster or None,
     )
     scheme = StaticScheme(setup.specs) if spec.static_scheme else None
     job_manager = (
@@ -94,6 +95,7 @@ def _run_spec(spec: RunSpec) -> dict:
         scheme=scheme,
         job_manager=job_manager,
         balance_cost=spec.balance_cost,
+        placement=spec.placement,
     )
     metrics = result_metrics(res)
     # effective shape (build_scenario may widen the pipeline, e.g. MoE)

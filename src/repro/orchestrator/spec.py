@@ -22,7 +22,7 @@ from dataclasses import asdict, dataclass, fields, replace
 
 import repro
 
-SPEC_SCHEMA_VERSION = 1
+SPEC_SCHEMA_VERSION = 2
 
 #: Every contender `run_training` understands.
 MODES = (
@@ -56,6 +56,11 @@ class RunSpec:
     repack: bool = False
     repack_target: int = 1
     repack_force: bool = False
+    # stage→rank placement strategy ("packed" | "scattered" | "dp-outer")
+    placement: str = "packed"
+    # cluster spec string for parse_cluster (e.g. "2x8+2x4"); "" uses
+    # the auto-sized homogeneous testbed
+    cluster: str = ""
     # run the static (no-dynamism) control on the scenario's architecture
     static_scheme: bool = False
     # when set, attach an ElasticJobManager with this many total GPUs
@@ -97,6 +102,10 @@ class RunSpec:
             bits.append("static")
         if self.repack:
             bits.append(f"repack{self.repack_target}")
+        if self.placement != "packed":
+            bits.append(self.placement)
+        if self.cluster:
+            bits.append(self.cluster)
         if self.tag:
             bits.append(self.tag)
         return "/".join(bits)

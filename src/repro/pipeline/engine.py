@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.collectives import CommCostModel
+from repro.cluster.placement import Placement
 from repro.model.cost import LayerSpec, LayerState, ModelCost
 from repro.pipeline.plan import PipelinePlan
 from repro.pipeline.schedules import Op, OpKind, Schedule
@@ -78,7 +79,7 @@ class PipelineEngine:
         num_micro: int = 4,
         dp_ways: int = 1,
         record_timeline: bool = False,
-        stage_rank_stride: int = 1,
+        placement: Placement | None = None,
         worker_speeds: np.ndarray | None = None,
     ) -> None:
         self.cost = cost
@@ -91,7 +92,10 @@ class PipelineEngine:
             raise ValueError("dp_ways must be positive")
         self.dp_ways = dp_ways
         self.record_timeline = record_timeline
-        self.stage_rank_stride = stage_rank_stride
+        # Explicit stage→rank map; None falls back to the identity
+        # mapping (rank == stage, DP groups 0..D-1) of a fresh packed
+        # placement on a single-node cluster.
+        self.placement = placement
         if worker_speeds is not None:
             worker_speeds = np.asarray(worker_speeds, dtype=float)
             if (worker_speeds <= 0).any():
@@ -123,22 +127,70 @@ class PipelineEngine:
                     bwd[s] += self.cost.backward_time(sp, st)
             last = plan.boundaries[s + 1] - 1
             act_bytes[s] = specs[last].activation_bytes * states[last].token_fraction
-        if self.worker_speeds is not None:
-            if self.worker_speeds.shape[0] < S:
-                raise ValueError(
-                    f"{self.worker_speeds.shape[0]} worker speeds for {S} stages"
-                )
-            sp = self.worker_speeds[:S]
-            fwd, bwd, wgt = fwd / sp, bwd / sp, wgt / sp
+        speeds = self._effective_speeds(S)
+        if speeds is not None:
+            fwd, bwd, wgt = fwd / speeds, bwd / speeds, wgt / speeds
         return fwd, bwd, wgt, act_bytes
 
-    def _stage_rank(self, stage: int) -> int:
-        return stage * self.stage_rank_stride
+    def _effective_speeds(self, num_stages: int) -> np.ndarray | None:
+        """Explicit override first, else speeds of the placed devices."""
+        if self.worker_speeds is not None:
+            if self.worker_speeds.shape[0] < num_stages:
+                raise ValueError(
+                    f"{self.worker_speeds.shape[0]} worker speeds for "
+                    f"{num_stages} stages"
+                )
+            return self.worker_speeds[:num_stages]
+        if self.placement is not None:
+            speeds = self.placement.worker_speeds()
+            # non-reference devices (uniform A100 cluster, mixed nodes,
+            # ...) slow their stages down; all-reference is a no-op
+            if not np.allclose(speeds, 1.0):
+                return speeds
+        return None
+
+    def _edge_time(self, src_stage: int, dst_stage: int, nbytes: float) -> float:
+        """Activation/grad hand-off cost between adjacent stages.
+
+        DP replicas run in lockstep, so the edge costs what the
+        worst-placed replica pays for it."""
+        if self.comm is None:
+            return 0.0
+        if self.placement is None:
+            return self.comm.p2p_time(src_stage, dst_stage, nbytes)
+        return max(
+            self.comm.p2p_time(
+                self.placement.rank_of(src_stage, d),
+                self.placement.rank_of(dst_stage, d),
+                nbytes,
+            )
+            for d in range(self.placement.dp_ways)
+        )
+
+    def _dp_group(self, stage: int) -> list[int]:
+        if self.placement is not None:
+            return list(self.placement.dp_group(stage))
+        return list(range(self.dp_ways))
+
+    def _check_placement(self, plan: PipelinePlan) -> None:
+        if self.placement is None:
+            return
+        if self.placement.num_stages != plan.num_stages:
+            raise ValueError(
+                f"placement covers {self.placement.num_stages} stages, "
+                f"plan has {plan.num_stages}"
+            )
+        if self.placement.dp_ways != self.dp_ways:
+            raise ValueError(
+                f"placement has {self.placement.dp_ways} DP replicas, "
+                f"engine expects {self.dp_ways}"
+            )
 
     # -- simulation ---------------------------------------------------------
     def run_iteration(
         self, plan: PipelinePlan, states: list[LayerState]
     ) -> IterationResult:
+        self._check_placement(plan)
         fwd, bwd, wgt, act_bytes = self.stage_times(plan, states)
         S, M = plan.num_stages, self.num_micro
         ops: list[list[Op]] = [
@@ -154,12 +206,9 @@ class PipelineEngine:
         idx = [0] * S
         pending_w: list[list[int]] = [[] for _ in range(S)]  # micro ids awaiting W
 
-        def xfer(src_stage: int, dst_stage: int, nbytes: float) -> float:
-            if self.comm is None:
-                return 0.0
-            return self.comm.p2p_time(
-                self._stage_rank(src_stage), self._stage_rank(dst_stage), nbytes
-            )
+        # per-edge transfer costs, hoisted out of the scheduling loop
+        fwd_xfer = [self._edge_time(s, s + 1, act_bytes[s]) for s in range(S - 1)]
+        bwd_xfer = [self._edge_time(s + 1, s, act_bytes[s]) for s in range(S - 1)]
 
         def dep_ready(s: int, op: Op) -> float | None:
             """Earliest time the cross-worker dependency is satisfied,
@@ -170,7 +219,7 @@ class PipelineEngine:
                 key = (s - 1, OpKind.F, op.micro)
                 if key not in finish:
                     return None
-                return finish[key] + xfer(s - 1, s, act_bytes[s - 1])
+                return finish[key] + fwd_xfer[s - 1]
             if op.kind is OpKind.B:
                 if s == S - 1:
                     key = (s, OpKind.F, op.micro)
@@ -178,7 +227,7 @@ class PipelineEngine:
                 key = (s + 1, OpKind.B, op.micro)
                 if key not in finish:
                     return None
-                return finish[key] + xfer(s + 1, s, act_bytes[s])
+                return finish[key] + bwd_xfer[s]
             # W: own B must be done
             return finish.get((s, OpKind.B, op.micro))
 
@@ -236,7 +285,7 @@ class PipelineEngine:
         if self.dp_ways > 1 and self.comm is not None:
             grad_bytes = self._dp_grad_bytes(plan, states)
             for s in range(S):
-                t = self.comm.allreduce_time(list(range(self.dp_ways)), grad_bytes[s])
+                t = self.comm.allreduce_time(self._dp_group(s), grad_bytes[s])
                 worker_time[s] += t
                 comm_extra = max(comm_extra, t)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.collectives import CommCostModel
+from repro.cluster.placement import Placement
 from repro.model.cost import LayerState, ModelCost
 from repro.pipeline.plan import PipelinePlan
 
@@ -42,22 +43,44 @@ class MigrationPlan:
         self,
         comm: CommCostModel | None,
         overlap: float = 0.7,
-        stage_rank_stride: int = 1,
+        src_placement: Placement | None = None,
+        dst_placement: Placement | None = None,
     ) -> float:
         """Wall-clock cost of the migration.
 
         ``overlap`` is the fraction hidden behind back-propagation
         (paper section 3.3.1: migration is coupled with the pipeline's
         backward communication, last to first layer).
+
+        ``src_placement`` resolves source stages to GPU ranks and
+        ``dst_placement`` destination stages (they differ across a
+        re-pack, where the destination plan has fewer stages); with no
+        placement the identity mapping ``rank == stage`` is priced.
         """
         if comm is None or not self.transfers:
             return 0.0
         if not 0.0 <= overlap <= 1.0:
             raise ValueError("overlap must be in [0, 1]")
+        if dst_placement is None:
+            dst_placement = src_placement
+        if src_placement is None:
+            src_placement = dst_placement
         exposed = 0.0
+        if src_placement is None:  # both unset: identity rank == stage
+            for t in self.transfers:
+                exposed += comm.p2p_time(t.src_stage, t.dst_stage, t.nbytes)
+            return exposed * (1.0 - overlap)
+        # every DP replica ships its own copy of the layer in lockstep,
+        # so the exposed cost is the worst replica's link
+        replicas = min(src_placement.dp_ways, dst_placement.dp_ways)
         for t in self.transfers:
-            exposed += comm.p2p_time(
-                t.src_stage * stage_rank_stride, t.dst_stage * stage_rank_stride, t.nbytes
+            exposed += max(
+                comm.p2p_time(
+                    src_placement.rank_of(t.src_stage, d),
+                    dst_placement.rank_of(t.dst_stage, d),
+                    t.nbytes,
+                )
+                for d in range(replicas)
             )
         return exposed * (1.0 - overlap)
 

@@ -23,6 +23,9 @@ class TrainingConfig:
     schedule: str = "zb"
     seed: int = 0
     record_every: int = 10
+    # how stages x replicas map onto cluster ranks ("packed",
+    # "scattered", "dp-outer"); None keeps the legacy identity mapping
+    placement_strategy: str | None = "packed"
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -35,6 +38,14 @@ class TrainingConfig:
             raise ValueError("micro_batch must be positive")
         if self.record_every <= 0:
             raise ValueError("record_every must be positive")
+        if self.placement_strategy is not None:
+            from repro.cluster.placement import PLACEMENT_STRATEGIES
+
+            if self.placement_strategy not in PLACEMENT_STRATEGIES:
+                raise ValueError(
+                    f"unknown placement strategy {self.placement_strategy!r}; "
+                    f"choose from {PLACEMENT_STRATEGIES}"
+                )
 
     @property
     def micro_batches(self) -> int:

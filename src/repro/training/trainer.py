@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.cluster.collectives import CommCostModel
 from repro.cluster.job_manager import ElasticJobManager
+from repro.cluster.placement import Placement, make_placement
 from repro.core.controller import DynMoController
 from repro.dynamics.base import DynamismScheme
 from repro.model.cost import LayerState, ModelCost
@@ -62,6 +63,11 @@ class TrainingResult:
     layers_moved: int = 0
     final_plan: PipelinePlan | None = None
     average_gpus: float = 0.0
+    placement_strategy: str = "identity"
+    #: replica-0 pipeline chain at run end (the surviving GPU ranks)
+    final_stage_ranks: list[int] = field(default_factory=list)
+    #: (iteration, global ranks freed) per re-pack event
+    released_ranks_history: list[tuple[int, list[int]]] = field(default_factory=list)
 
     @property
     def tokens_per_s(self) -> float:
@@ -90,21 +96,33 @@ class Trainer:
         job_manager: ElasticJobManager | None = None,
         job_name: str = "train",
         trace_recorder=None,
+        placement: Placement | None = None,
     ) -> None:
         self.cfg = cfg
         self.cost = cost
         self.scheme = scheme
         self.comm = comm
         self.controller = controller
+        n_layers = len(cost.specs)
+        self.plan = initial_plan or PipelinePlan.uniform(n_layers, cfg.pp_stages)
+        if placement is None and comm is not None and cfg.placement_strategy:
+            placement = make_placement(
+                comm.topology,
+                self.plan.num_stages,
+                cfg.dp_ways,
+                cfg.placement_strategy,
+            )
+        self.placement = placement
+        if controller is not None and controller.placement is None:
+            controller.placement = placement
         self.engine = PipelineEngine(
             cost,
             comm,
             schedule=cfg.schedule,
             num_micro=cfg.micro_batches,
             dp_ways=cfg.dp_ways,
+            placement=placement,
         )
-        n_layers = len(cost.specs)
-        self.plan = initial_plan or PipelinePlan.uniform(n_layers, cfg.pp_stages)
         self.states = scheme.initial_states()
         self.job_manager = job_manager
         self.job_name = job_name
@@ -115,7 +133,8 @@ class Trainer:
 
     # -- internals ---------------------------------------------------------
     def _iteration_result(self) -> IterationResult:
-        key = (self.plan.boundaries, states_fingerprint(self.states))
+        grid = self.placement.grid if self.placement is not None else None
+        key = (self.plan.boundaries, grid, states_fingerprint(self.states))
         if key not in self._cache:
             if len(self._cache) > 512:
                 self._cache.clear()
@@ -139,6 +158,7 @@ class Trainer:
         bubbles: list[tuple[int, float]] = []
         makespans: list[tuple[int, float]] = []
         stages: list[tuple[int, int]] = []
+        released_history: list[tuple[int, list[int]]] = []
         last_iter_time = 0.0
 
         # baselines like Egeria carry their own per-iteration cost
@@ -157,12 +177,17 @@ class Trainer:
                 decision = self.controller.rebalance(
                     k, self.plan, self.states, iter_time_hint=last_iter_time
                 )
-                if decision.repacked and self.job_manager is not None:
-                    released = self.plan.num_stages - decision.plan.num_stages
-                    if released > 0:
-                        self.job_manager.release(
-                            self.job_name, released * self.cfg.dp_ways, iteration=k
-                        )
+                if decision.repacked:
+                    if self.job_manager is not None:
+                        released = self.plan.num_stages - decision.plan.num_stages
+                        if released > 0:
+                            self.job_manager.release(
+                                self.job_name, released * self.cfg.dp_ways, iteration=k
+                            )
+                    if decision.placement is not None:
+                        self.placement = decision.placement
+                        self.engine.placement = decision.placement
+                        released_history.append((k, list(decision.released_ranks)))
                 self.plan = decision.plan
                 overhead += decision.overhead_s
                 total_time += decision.overhead_s
@@ -197,4 +222,13 @@ class Trainer:
             layers_moved=moved,
             final_plan=self.plan,
             average_gpus=avg_gpus,
+            placement_strategy=(
+                self.placement.strategy if self.placement is not None else "identity"
+            ),
+            final_stage_ranks=(
+                list(self.placement.stage_ranks())
+                if self.placement is not None
+                else list(range(self.plan.num_stages))
+            ),
+            released_ranks_history=released_history,
         )

@@ -134,3 +134,48 @@ class TestSweepCommand:
     def test_fig_commands_accept_jobs_flag(self):
         args = build_parser().parse_args(["fig1", "--jobs", "2"])
         assert args.jobs == 2
+
+
+class TestHeterogeneousSweep:
+    def test_sweep_parser_placement_cluster_repack(self):
+        args = build_parser().parse_args(
+            ["sweep", "--placement", "packed", "dp-outer",
+             "--cluster", "2x8+2x4", "--repack", "--repack-target", "4",
+             "--repack-force"]
+        )
+        assert args.placement == ["packed", "dp-outer"]
+        assert args.cluster == "2x8+2x4"
+        assert args.repack and args.repack_force and args.repack_target == 4
+
+    def test_sweep_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--placement", "random"])
+
+    def test_hetero_repack_sweep_runs(self, capsys, tmp_path):
+        out_json = tmp_path / "rows.json"
+        rc = main(
+            ["sweep", "--scenario", "pruning", "--mode", "dynmo-diffusion",
+             "--stages", "8", "--iterations", "40",
+             "--cluster", "2x8+2x4", "--placement", "packed", "scattered",
+             "--repack", "--repack-target", "4", "--repack-force",
+             "--jobs", "1", "--json", str(out_json)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "surviving_ranks" in out
+        assert "scattered" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        for rec in payload["records"]:
+            assert rec["metrics"]["placement_strategy"] in ("packed", "scattered")
+            assert rec["metrics"]["final_stage_ranks"]
+
+    def test_fig1_on_hetero_cluster(self, capsys):
+        rc = main(
+            ["fig1", "--scenario", "freezing", "--stages", "8",
+             "--iterations", "30", "--cluster", "2x8+2x4",
+             "--placement", "scattered"]
+        )
+        assert rc == 0
+        assert "Figure 1" in capsys.readouterr().out

@@ -173,3 +173,79 @@ class TestJobManager:
         jm.request("a", 4, iteration=10)
         with pytest.raises(ValueError):
             jm.release("a", 1, iteration=5)
+
+
+class TestHeterogeneousTopology:
+    """node_of/link_between must respect per-node GPU counts
+    (regression: the old `rank // nodes[0].gpus_per_node` mis-mapped
+    ranks on uneven clusters)."""
+
+    def test_node_of_uneven_nodes(self):
+        from repro.cluster import hetero_cluster
+
+        topo = hetero_cluster([8, 4, 2])
+        assert topo.num_gpus == 14
+        assert [topo.node_of(r) for r in (0, 7, 8, 11, 12, 13)] == [
+            0, 0, 1, 1, 2, 2,
+        ]
+        with pytest.raises(ValueError):
+            topo.node_of(14)
+
+    def test_node_of_small_first_node(self):
+        """The old stride rule crashed (IndexError) or mis-mapped when
+        node 0 was the smallest."""
+        from repro.cluster import hetero_cluster
+
+        topo = hetero_cluster([2, 8])
+        assert topo.node_of(1) == 0
+        assert topo.node_of(2) == 1
+        assert topo.node_of(9) == 1
+
+    def test_link_between_uneven_nodes(self):
+        from repro.cluster import hetero_cluster
+
+        topo = hetero_cluster([2, 8])
+        assert topo.link_between(2, 9) is NVLINK4  # both on node 1
+        assert topo.link_between(1, 2) is IB_NDR200x4  # crosses nodes
+
+    def test_node_ranks_and_gpu_of(self):
+        from repro.cluster import GPUSpec, hetero_cluster
+
+        a100 = GPUSpec("A100", memory_bytes=40 * 1024**3, peak_flops=312e12)
+        topo = hetero_cluster([2, 3], gpus=[GPUSpec(), a100])
+        assert list(topo.node_ranks(1)) == [2, 3, 4]
+        assert topo.gpu_of(4).name == "A100"
+        assert topo.min_memory_bytes == 40 * 1024**3
+
+    def test_gpus_per_node_undefined_when_uneven(self):
+        from repro.cluster import hetero_cluster
+
+        topo = hetero_cluster([8, 4])
+        with pytest.raises(ValueError, match="heterogeneous"):
+            _ = topo.gpus_per_node
+        assert not topo.is_uniform
+        assert h100_cluster(2, 4).is_uniform
+
+
+class TestParseCluster:
+    def test_simple_and_mixed(self):
+        from repro.cluster import parse_cluster
+
+        topo = parse_cluster("2x8+2x4")
+        assert [n.gpus_per_node for n in topo.nodes] == [8, 8, 4, 4]
+        assert topo.num_gpus == 24
+
+    def test_gpu_models(self):
+        from repro.cluster import parse_cluster
+
+        topo = parse_cluster("1x8:h100+2x4:a100")
+        assert topo.nodes[0].gpu.name == "H100-SXM5"
+        assert topo.nodes[1].gpu.name == "A100-SXM4"
+        assert topo.min_memory_bytes == 40 * 1024**3
+
+    def test_bad_specs_raise(self):
+        from repro.cluster import parse_cluster
+
+        for bad in ("", "8", "2x", "x4", "2x8:tpu", "0x4", "2x-1"):
+            with pytest.raises(ValueError):
+                parse_cluster(bad)

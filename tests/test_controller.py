@@ -153,3 +153,27 @@ class TestController:
         ctl.rebalance(0, plan, states)
         ctl.rebalance(1, plan, states)
         assert ctl.num_rebalances == 2
+
+
+class TestBalancerFailure:
+    def test_balancer_exception_releases_timer(self, gpt24_cost, comm):
+        """A crashing balancer must not leave the balance timer running
+        (the next invocation would raise 'already started')."""
+
+        from repro.core.balancers.base import LoadBalancer
+
+        class Boom(LoadBalancer):
+            def rebalance(self, plan, weights, memory_per_layer=None,
+                          memory_capacity=None):
+                raise RuntimeError("boom")
+
+        ctl = DynMoController(
+            gpt24_cost, comm, DynMoConfig(), balancer_override=Boom()
+        )
+        plan = PipelinePlan.uniform(26, 4)
+        with pytest.raises(RuntimeError, match="boom"):
+            ctl.rebalance(0, plan, fresh_states(26), iter_time_hint=0.1)
+        # the timer is free again: a healthy retry must work
+        timer = ctl.timers("balance")
+        timer.start()
+        timer.stop()

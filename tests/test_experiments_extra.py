@@ -59,15 +59,19 @@ class TestPaperScale:
         assert res.num_workers == 24
 
 
-class TestStageRankStride:
-    def test_stride_changes_comm_cost(self, gpt24_cost, gpt24_states, comm):
-        """stride > gpus_per_node forces every pipeline hop inter-node."""
+class TestPlacementCommCost:
+    def test_placement_changes_comm_cost(self, gpt24_cost, gpt24_states, comm):
+        """A scattered placement forces every pipeline hop inter-node."""
+        from repro.cluster.placement import make_placement
+
         plan = PipelinePlan.uniform(26, 2)
         local = PipelineEngine(
-            gpt24_cost, comm, num_micro=8, stage_rank_stride=1
+            gpt24_cost, comm, num_micro=8,
+            placement=make_placement(comm.topology, 2, strategy="packed"),
         ).run_iteration(plan, gpt24_states)
         remote = PipelineEngine(
-            gpt24_cost, comm, num_micro=8, stage_rank_stride=4
+            gpt24_cost, comm, num_micro=8,
+            placement=make_placement(comm.topology, 2, strategy="scattered"),
         ).run_iteration(plan, gpt24_states)
         assert remote.makespan > local.makespan
 

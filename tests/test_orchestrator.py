@@ -284,3 +284,49 @@ class TestRunRecordSerialisation:
         spec = tiny()
         (tmp_path / f"{spec.spec_hash}.json").write_text('{"schema": 2, "bogus": 1}')
         assert cache.get(spec) is None
+
+
+class TestHeterogeneousElasticSweep:
+    """Acceptance: a mixed-node elastic scenario runs end-to-end and
+    every row records the placement strategy and surviving ranks."""
+
+    def test_mixed_node_repack_sweep(self):
+        specs = [
+            tiny(
+                scenario="pruning",
+                mode="dynmo-diffusion",
+                pp_stages=8,
+                iterations=60,
+                cluster="2x8+2x4",
+                placement=placement,
+                repack=True,
+                repack_target=4,
+                repack_force=True,
+                elastic_total_gpus=8,
+            )
+            for placement in ("packed", "scattered")
+        ]
+        records = run_specs(specs)
+        for spec, record in zip(specs, records):
+            metrics = record.unwrap()
+            assert metrics["placement_strategy"] == spec.placement
+            survivors = metrics["final_stage_ranks"]
+            assert len(survivors) == metrics["final_num_stages"]
+            assert len(set(survivors)) == len(survivors)
+            row = record_row(record)
+            assert row["placement"] == spec.placement
+            assert row["surviving_ranks"] == "-".join(map(str, survivors))
+        # forced repack 8 -> 4 must actually release workers
+        assert records[0].metrics["final_num_stages"] == 4
+        assert records[0].metrics["released_ranks_history"]
+
+    def test_cluster_too_small_is_isolated_error(self):
+        record = execute_spec(tiny(pp_stages=8, cluster="1x4"))
+        assert record.status == "error"
+        assert "GPUs" in (record.error or "")
+
+    def test_placement_changes_result_and_hash(self):
+        a = tiny(placement="packed")
+        b = tiny(placement="scattered")
+        assert a.spec_hash != b.spec_hash
+        assert "scattered" in b.label

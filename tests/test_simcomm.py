@@ -157,3 +157,50 @@ class TestWorldValidation:
     def test_zero_size_raises(self):
         with pytest.raises(ValueError):
             SimWorld(0)
+
+
+class TestGenerationIsolation:
+    """A timed-out run must not poison the next one (ISSUE 2 satellite):
+    each run() gets its own mailbox/barrier namespace."""
+
+    def test_rerun_after_timeout_is_clean(self):
+        import time
+
+        world = SimWorld(2)
+
+        def straggler(comm):
+            if comm.rank == 0:
+                time.sleep(0.5)
+                comm.send("stale", dest=1)
+                return None
+            # blocks past the run deadline, then (without generation
+            # namespacing) would steal the NEXT run's first message
+            return comm.recv(source=0, timeout=1.0)
+
+        with pytest.raises(TimeoutError):
+            world.run(straggler, timeout=0.05)
+
+        def clean(comm):
+            if comm.rank == 0:
+                comm.send(42, dest=1)
+                return None
+            return comm.recv(source=0, timeout=2.0)
+
+        assert world.run(clean, timeout=5.0)[1] == 42
+
+    def test_barriers_do_not_leak_across_runs(self):
+        world = SimWorld(2)
+
+        def half_barrier(comm):
+            if comm.rank == 0:
+                raise RuntimeError("rank 0 dies before the barrier")
+            comm.barrier("sync")  # waits for a party that never comes
+
+        with pytest.raises((RuntimeError, TimeoutError)):
+            world.run(half_barrier, timeout=0.05)
+
+        def full_barrier(comm):
+            comm.barrier("sync")
+            return comm.rank
+
+        assert world.run(full_barrier, timeout=5.0) == [0, 1]
