@@ -1,0 +1,83 @@
+"""Gate CI on the committed engine microbenchmark baseline.
+
+Compares a fresh ``BENCH_engine.json`` against the committed baseline
+and fails when any case's compiled-vs-reference *speedup* collapses by
+more than ``--factor`` (default 2x).  The speedup ratio is
+machine-neutral — both paths run on the same box in the same process —
+so the gate detects real fast-path regressions without flaking on
+slower CI runners.  Absolute compiled-time regressions beyond
+``--factor`` are printed as warnings (they fail only with
+``--absolute``, for same-machine comparisons).
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        benchmarks/BENCH_engine.json BENCH_engine.json --factor 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(
+    baseline: dict, current: dict, factor: float, absolute: bool = False
+) -> tuple[list[str], list[str]]:
+    """Returns ``(failures, warnings)``."""
+    base_cases = {c["case"]: c for c in baseline["cases"]}
+    cur_cases = {c["case"]: c for c in current["cases"]}
+    failures: list[str] = []
+    warnings: list[str] = []
+    missing = set(base_cases) - set(cur_cases)
+    if missing:
+        failures.append(f"cases missing from current run: {sorted(missing)}")
+    for name, base in base_cases.items():
+        cur = cur_cases.get(name)
+        if cur is None:
+            continue
+        if cur["speedup"] * factor < base["speedup"]:
+            failures.append(
+                f"{name}: speedup {cur['speedup']:.1f}x vs baseline "
+                f"{base['speedup']:.1f}x (collapsed by > {factor:g}x)"
+            )
+        if cur["compiled_ms"] > factor * base["compiled_ms"]:
+            msg = (
+                f"{name}: compiled {cur['compiled_ms']:.3f} ms vs baseline "
+                f"{base['compiled_ms']:.3f} ms (> {factor:g}x; baseline may "
+                f"be from a faster machine)"
+            )
+            (failures if absolute else warnings).append(msg)
+    return failures, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_engine.json")
+    ap.add_argument("current", help="freshly generated BENCH_engine.json")
+    ap.add_argument("--factor", type=float, default=2.0)
+    ap.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also fail on absolute compiled-time regressions "
+        "(only meaningful when baseline and current ran on the same machine)",
+    )
+    args = ap.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    failures, warnings = check(baseline, current, args.factor, args.absolute)
+    for line in warnings:
+        print(f"WARNING: {line}")
+    for line in failures:
+        print(f"REGRESSION: {line}")
+    if not failures:
+        print(f"engine bench within {args.factor:g}x of baseline "
+              f"({len(baseline['cases'])} cases)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

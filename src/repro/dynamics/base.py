@@ -26,6 +26,18 @@ class DynamismScheme(ABC):
             raise ValueError("specs must be non-empty")
         self.specs = specs
         self.block_indices = [i for i, sp in enumerate(specs) if sp.kind == "block"]
+        #: bumped by :meth:`advance` whenever a step reports a change;
+        #: consumers (the Trainer's memoiser) can skip re-hashing the
+        #: state vector while the version is unchanged.
+        self.version = 0
+
+    def advance(self, k: int, states: list[LayerState]) -> bool:
+        """:meth:`step` plus version accounting (what callers that
+        memoise on the state vector should invoke)."""
+        changed = self.step(k, states)
+        if changed:
+            self.version += 1
+        return changed
 
     def initial_states(self) -> list[LayerState]:
         return [LayerState() for _ in self.specs]

@@ -6,6 +6,9 @@
 - :mod:`engine` — dependency-exact discrete-event simulation of one
   training iteration, yielding makespan, per-worker busy/idle time and
   the bubble ratio (the paper's Fig. 1 metric);
+- :mod:`compiled` — process-wide cached flat op tables and the fast
+  topological executor behind ``PipelineEngine.run_iteration``
+  (bit-identical to the reference ready-loop);
 - :mod:`migration` — layer-movement plans between two pipeline plans
   plus their communication cost (DynMo's "move layers while gradients
   are computed" step).
@@ -13,6 +16,7 @@
 
 from repro.pipeline.plan import PipelinePlan
 from repro.pipeline.schedules import Schedule, OpKind, Op
+from repro.pipeline.compiled import CompiledSchedule, compile_schedule
 from repro.pipeline.engine import PipelineEngine, IterationResult
 from repro.pipeline.migration import MigrationPlan, diff_plans
 
@@ -21,6 +25,8 @@ __all__ = [
     "Schedule",
     "OpKind",
     "Op",
+    "CompiledSchedule",
+    "compile_schedule",
     "PipelineEngine",
     "IterationResult",
     "MigrationPlan",

@@ -32,6 +32,7 @@ import numpy as np
 from repro.cluster.collectives import CommCostModel
 from repro.cluster.placement import Placement
 from repro.model.cost import LayerSpec, LayerState, ModelCost
+from repro.pipeline.compiled import compile_schedule, execute_compiled
 from repro.pipeline.plan import PipelinePlan
 from repro.pipeline.schedules import Op, OpKind, Schedule
 
@@ -81,6 +82,7 @@ class PipelineEngine:
         record_timeline: bool = False,
         placement: Placement | None = None,
         worker_speeds: np.ndarray | None = None,
+        use_compiled: bool = True,
     ) -> None:
         self.cost = cost
         self.comm = comm
@@ -92,6 +94,11 @@ class PipelineEngine:
             raise ValueError("dp_ways must be positive")
         self.dp_ways = dp_ways
         self.record_timeline = record_timeline
+        # The compiled fast path (repro.pipeline.compiled) is
+        # bit-identical to the reference ready-loop; the reference is
+        # kept as the oracle and as the only path that can record a
+        # timeline.  ``use_compiled=False`` forces the oracle.
+        self.use_compiled = use_compiled
         # Explicit stage→rank map; None falls back to the identity
         # mapping (rank == stage, DP groups 0..D-1) of a fresh packed
         # placement on a single-node cluster.
@@ -190,6 +197,37 @@ class PipelineEngine:
     def run_iteration(
         self, plan: PipelinePlan, states: list[LayerState]
     ) -> IterationResult:
+        if self.record_timeline or not self.use_compiled:
+            return self.run_iteration_reference(plan, states)
+        return self._run_iteration_compiled(plan, states)
+
+    def _run_iteration_compiled(
+        self, plan: PipelinePlan, states: list[LayerState]
+    ) -> IterationResult:
+        """One topological pass over the process-wide compiled op tables."""
+        self._check_placement(plan)
+        fwd, bwd, wgt, act_bytes = self.stage_times(plan, states)
+        S = plan.num_stages
+        cs = compile_schedule(self.schedule.name, S, self.num_micro)
+        fwd_xfer = [self._edge_time(s, s + 1, act_bytes[s]) for s in range(S - 1)]
+        bwd_xfer = [self._edge_time(s + 1, s, act_bytes[s]) for s in range(S - 1)]
+        worker_time, busy, _ = execute_compiled(cs, fwd, bwd, wgt, fwd_xfer, bwd_xfer)
+
+        comm_extra = 0.0
+        if self.dp_ways > 1 and self.comm is not None:
+            grad_bytes = self._dp_grad_bytes(plan, states)
+            for s in range(S):
+                t = self.comm.allreduce_time(self._dp_group(s), grad_bytes[s])
+                worker_time[s] += t
+                comm_extra = max(comm_extra, t)
+
+        makespan = float(max(worker_time))
+        return IterationResult(makespan, np.asarray(busy), comm_extra, [])
+
+    def run_iteration_reference(
+        self, plan: PipelinePlan, states: list[LayerState]
+    ) -> IterationResult:
+        """The original dict-keyed ready-loop (differential oracle)."""
         self._check_placement(plan)
         fwd, bwd, wgt, act_bytes = self.stage_times(plan, states)
         S, M = plan.num_stages, self.num_micro

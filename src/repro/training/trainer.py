@@ -18,6 +18,7 @@ early exit) re-simulate only when something changed, which keeps a
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,22 +34,25 @@ from repro.pipeline.plan import PipelinePlan
 from repro.training.config import TrainingConfig
 
 
-def states_fingerprint(states: list[LayerState]) -> bytes:
-    """Stable hash of the dynamism state vector (for memoisation)."""
-    arr = np.array(
-        [
-            (
-                s.sparsity,
-                1.0 if s.frozen else 0.0,
-                1.0 if s.droppable_bwd else 0.0,
-                s.attn_density,
-                s.token_fraction,
-                s.moe_multiplier,
-            )
-            for s in states
-        ]
-    )
-    return hashlib.blake2b(arr.tobytes(), digest_size=16).digest()
+def states_fingerprint(states: list[LayerState], out: np.ndarray | None = None) -> bytes:
+    """Stable hash of the dynamism state vector (for memoisation).
+
+    ``out`` is an optional preallocated ``(len(states), 6)`` float64
+    scratch buffer, refilled in place; callers hashing every iteration
+    (the Trainer) reuse one buffer instead of re-allocating.
+    """
+    n = len(states)
+    if out is None or out.shape != (n, 6):
+        out = np.empty((n, 6))
+    for i, s in enumerate(states):
+        row = out[i]
+        row[0] = s.sparsity
+        row[1] = 1.0 if s.frozen else 0.0
+        row[2] = 1.0 if s.droppable_bwd else 0.0
+        row[3] = s.attn_density
+        row[4] = s.token_fraction
+        row[5] = s.moe_multiplier
+    return hashlib.blake2b(out.tobytes(), digest_size=16).digest()
 
 
 @dataclass
@@ -129,17 +133,38 @@ class Trainer:
         self.trace_recorder = trace_recorder
         if job_manager is not None:
             job_manager.request(job_name, cfg.total_gpus, iteration=0)
-        self._cache: dict[tuple, IterationResult] = {}
+        # Bounded LRU of iteration results: long elastic runs that
+        # alternate between a handful of plans never thrash (the old
+        # clear-everything-at-512 wiped the hot entries too).
+        self._cache: OrderedDict[tuple, IterationResult] = OrderedDict()
+        self._cache_capacity = 512
+        # states_fingerprint memo, invalidated by the scheme's version
+        # counter: schemes that change every few hundred iterations
+        # (pruning, freezing, early exit) skip the per-iteration hash.
+        self._fp: bytes | None = None
+        self._fp_version: int | None = None
+        self._fp_buf = np.empty((len(self.states), 6))
 
     # -- internals ---------------------------------------------------------
+    def _states_key(self) -> bytes:
+        version = getattr(self.scheme, "version", None)
+        if version is None or version != self._fp_version or self._fp is None:
+            self._fp = states_fingerprint(self.states, out=self._fp_buf)
+            self._fp_version = version
+        return self._fp
+
     def _iteration_result(self) -> IterationResult:
         grid = self.placement.grid if self.placement is not None else None
-        key = (self.plan.boundaries, grid, states_fingerprint(self.states))
-        if key not in self._cache:
-            if len(self._cache) > 512:
-                self._cache.clear()
-            self._cache[key] = self.engine.run_iteration(self.plan, self.states)
-        return self._cache[key]
+        key = (self.plan.boundaries, grid, self._states_key())
+        res = self._cache.get(key)
+        if res is None:
+            if len(self._cache) >= self._cache_capacity:
+                self._cache.popitem(last=False)
+            res = self.engine.run_iteration(self.plan, self.states)
+            self._cache[key] = res
+        else:
+            self._cache.move_to_end(key)
+        return res
 
     def tokens_per_iteration(self) -> float:
         return float(
@@ -167,8 +192,13 @@ class Trainer:
         if hasattr(self.scheme, "per_iteration_overhead_s"):
             scheme_overhead = float(self.scheme.per_iteration_overhead_s())
 
+        # duck-typed baselines (Egeria/Tutel wrappers) only provide
+        # step(); without a version counter the fingerprint memo just
+        # recomputes every iteration, as before
+        advance = getattr(self.scheme, "advance", self.scheme.step)
+
         for k in range(iters):
-            self.scheme.step(k, self.states)
+            advance(k, self.states)
             total_time += scheme_overhead
 
             if self.controller is not None and self.controller.should_invoke(

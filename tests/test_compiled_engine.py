@@ -1,0 +1,261 @@
+"""Differential golden tests: compiled engine core vs reference loop.
+
+The compiled fast path must be *bit-identical* to the reference
+ready-loop — same IEEE-754 operations in the same order — across every
+axis the sweeps exercise: schedules x placements x heterogeneous
+clusters x dp_ways, plus post-repack surviving placements and random
+dynamism states.  Equality below is exact (``==`` / ``array_equal``),
+not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.collectives import CommCostModel
+from repro.cluster.placement import PLACEMENT_STRATEGIES, make_placement
+from repro.cluster.topology import parse_cluster
+from repro.model.cost import fresh_states
+from repro.pipeline.compiled import compile_schedule, execute_compiled
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.plan import PipelinePlan
+from repro.pipeline.schedules import OpKind, Schedule
+
+N_LAYERS = 26
+SCHEDULES = ("gpipe", "1f1b", "zb")
+
+
+def assert_identical(fast, ref):
+    assert fast.makespan == ref.makespan
+    assert np.array_equal(fast.busy, ref.busy)
+    assert fast.comm_extra == ref.comm_extra
+
+
+def run_both(cost, comm, plan, states, **kw):
+    fast = PipelineEngine(cost, comm, **kw).run_iteration(plan, states)
+    ref = PipelineEngine(cost, comm, use_compiled=False, **kw).run_iteration(
+        plan, states
+    )
+    return fast, ref
+
+
+def random_states(rng, states):
+    for s in states:
+        s.sparsity = float(rng.uniform(0.0, 0.9)) if rng.random() < 0.3 else 0.0
+        s.frozen = bool(rng.random() < 0.2)
+        s.attn_density = float(rng.uniform(0.1, 1.0))
+        s.token_fraction = float(rng.uniform(0.3, 1.0))
+        s.moe_multiplier = float(rng.uniform(1.0, 2.0))
+    return states
+
+
+# -- compile cache ----------------------------------------------------------
+
+
+def test_compile_is_cached_process_wide():
+    a = compile_schedule("zb", 4, 8)
+    b = compile_schedule("zb", 4, 8)
+    assert a is b
+
+
+@pytest.mark.parametrize("sched", SCHEDULES)
+def test_compiled_tables_cover_all_fb_ops(sched):
+    S, M = 5, 7
+    cs = compile_schedule(sched, S, M)
+    # every F and B op appears exactly once; W is gap-filled, not tabled
+    assert cs.num_ops == 2 * S * M
+    per_stage = [0] * S
+    for s in cs.stage:
+        per_stage[s] += 1
+    assert per_stage == [2 * M] * S
+    if sched == "zb":
+        assert all(len(b) == M for b in cs.b_ops)
+    # predecessors precede their dependents in the topological order
+    for i, p in enumerate(cs.pred):
+        assert p < i
+
+
+# -- differential grid ------------------------------------------------------
+
+
+@pytest.mark.parametrize("sched", SCHEDULES)
+@pytest.mark.parametrize("num_micro", [1, 3, 8])
+def test_identical_no_comm(sched, num_micro, gpt24_cost, gpt24_states):
+    plan = PipelinePlan.uniform(N_LAYERS, 4)
+    fast, ref = run_both(
+        gpt24_cost, None, plan, gpt24_states, schedule=sched, num_micro=num_micro
+    )
+    assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize("sched", SCHEDULES)
+@pytest.mark.parametrize("placement_strategy", [None, *PLACEMENT_STRATEGIES])
+@pytest.mark.parametrize("dp_ways", [1, 2])
+def test_identical_placement_grid(
+    sched, placement_strategy, dp_ways, gpt24_cost, gpt24_states, comm
+):
+    plan = PipelinePlan.uniform(N_LAYERS, 4)
+    placement = (
+        make_placement(comm.topology, 4, dp_ways, placement_strategy)
+        if placement_strategy
+        else None
+    )
+    fast, ref = run_both(
+        gpt24_cost,
+        comm,
+        plan,
+        gpt24_states,
+        schedule=sched,
+        num_micro=6,
+        dp_ways=dp_ways,
+        placement=placement,
+    )
+    assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize("sched", SCHEDULES)
+@pytest.mark.parametrize("placement_strategy", PLACEMENT_STRATEGIES)
+def test_identical_heterogeneous_cluster(sched, placement_strategy, gpt24_cost):
+    """Mixed 2x8+2x4 cluster: per-stage speeds differ across workers."""
+    topo = parse_cluster("2x8+2x4:a100")
+    comm = CommCostModel(topo)
+    placement = make_placement(topo, 8, 2, placement_strategy)
+    plan = PipelinePlan.uniform(N_LAYERS, 8)
+    states = random_states(np.random.default_rng(7), fresh_states(N_LAYERS))
+    fast, ref = run_both(
+        gpt24_cost,
+        comm,
+        plan,
+        states,
+        schedule=sched,
+        num_micro=8,
+        dp_ways=2,
+        placement=placement,
+    )
+    assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize("sched", SCHEDULES)
+def test_identical_post_repack_survivors(sched, gpt24_cost, gpt24_states, comm):
+    """Re-packed placements keep the surviving ranks, not rank 0..S-1."""
+    placement = make_placement(comm.topology, 8, 1, "packed")
+    survivors = placement.after_repack([0, 2, 5, 7])
+    plan = PipelinePlan.uniform(N_LAYERS, 4)
+    fast, ref = run_both(
+        gpt24_cost,
+        comm,
+        plan,
+        gpt24_states,
+        schedule=sched,
+        num_micro=6,
+        placement=survivors,
+    )
+    assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize("trial", range(12))
+def test_identical_random_stress(trial, gpt24_cost, gpt24_states):
+    """Random plans, speeds, micro counts and dynamism states."""
+    rng = np.random.default_rng(trial)
+    S = int(rng.integers(1, 8))
+    M = int(rng.integers(1, 17))
+    sched = SCHEDULES[trial % 3]
+    cuts = np.sort(rng.choice(np.arange(1, N_LAYERS), size=S - 1, replace=False))
+    plan = PipelinePlan((0, *map(int, cuts), N_LAYERS), N_LAYERS)
+    states = random_states(rng, gpt24_states)
+    speeds = rng.uniform(0.5, 2.0, size=S)
+    fast, ref = run_both(
+        gpt24_cost,
+        None,
+        plan,
+        states,
+        schedule=sched,
+        num_micro=M,
+        worker_speeds=speeds,
+    )
+    assert_identical(fast, ref)
+
+
+def test_timeline_requests_use_reference_path(gpt24_cost, gpt24_states):
+    """record_timeline always goes through the oracle (timelines are a
+    reference-path feature) even when use_compiled is left on."""
+    eng = PipelineEngine(
+        gpt24_cost, None, schedule="zb", num_micro=4, record_timeline=True
+    )
+    res = eng.run_iteration(PipelinePlan.uniform(N_LAYERS, 4), gpt24_states)
+    assert res.timeline  # compiled path never records one
+
+
+# -- ZB gap-fill property ---------------------------------------------------
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_zb_gap_fill_never_precedes_backward(trial, gpt24_cost, gpt24_states):
+    """Property: no W(m) fill segment starts before B(m) finished."""
+    rng = np.random.default_rng(100 + trial)
+    S = int(rng.integers(2, 7))
+    M = int(rng.integers(2, 13))
+    cuts = np.sort(rng.choice(np.arange(1, N_LAYERS), size=S - 1, replace=False))
+    plan = PipelinePlan((0, *map(int, cuts), N_LAYERS), N_LAYERS)
+    states = random_states(rng, gpt24_states)
+    eng = PipelineEngine(gpt24_cost, None, schedule="zb", num_micro=M)
+    fwd, bwd, wgt, act = eng.stage_times(plan, states)
+    cs = compile_schedule("zb", S, M)
+    _, _, segments = execute_compiled(
+        cs, fwd, bwd, wgt, [0.0] * (S - 1), [0.0] * (S - 1), collect_w=True
+    )
+    # recover B finish times from a reference timeline run
+    ref = PipelineEngine(
+        gpt24_cost, None, schedule="zb", num_micro=M, record_timeline=True
+    )
+    b_finish = {
+        (s, m): end
+        for s, kind, m, _, end in ref.run_iteration(plan, states).timeline
+        if kind == "B"
+    }
+    filled = 0
+    for s, m, start, end in segments:
+        assert end >= start
+        if m >= 0:
+            filled += 1
+            assert start >= b_finish[(s, m)]
+    if any(w > 0 for w in wgt):
+        assert segments, "zb run with W work produced no fill segments"
+
+
+def test_zb_gap_fill_conserves_work(gpt24_cost, gpt24_states):
+    """Fill segments + tail lump account for exactly M x wgt per stage."""
+    S, M = 4, 8
+    plan = PipelinePlan.uniform(N_LAYERS, S)
+    eng = PipelineEngine(gpt24_cost, None, schedule="zb", num_micro=M)
+    fwd, bwd, wgt, _ = eng.stage_times(plan, gpt24_states)
+    cs = compile_schedule("zb", S, M)
+    _, _, segments = execute_compiled(
+        cs, fwd, bwd, wgt, [0.0] * (S - 1), [0.0] * (S - 1), collect_w=True
+    )
+    per_stage = np.zeros(S)
+    for s, _, start, end in segments:
+        per_stage[s] += end - start
+    np.testing.assert_allclose(per_stage, wgt * M, rtol=1e-9)
+
+
+# -- schedule-table sanity --------------------------------------------------
+
+
+def test_compiled_matches_schedule_op_sequence():
+    """Per stage, the compiled topological order preserves the
+    schedule's F/B op sequence (W ops excluded)."""
+    S, M = 6, 9
+    for name in SCHEDULES:
+        cs = compile_schedule(name, S, M)
+        sched = Schedule(name)
+        per_stage_kinds: dict[int, list[str]] = {s: [] for s in range(S)}
+        for i in range(cs.num_ops):
+            kind = "F" if cs.dur_slot[i] < S else "B"
+            per_stage_kinds[cs.stage[i]].append(kind)
+        for s in range(S):
+            want = [
+                op.kind.value
+                for op in sched.stage_ops(s, S, M)
+                if op.kind is not OpKind.W
+            ]
+            assert per_stage_kinds[s] == want

@@ -204,3 +204,46 @@ class TestGenerationIsolation:
             return comm.rank
 
         assert world.run(full_barrier, timeout=5.0) == [0, 1]
+
+
+class TestEventBasedCompletion:
+    """SimWorld.run wakes on worker completion events, not 5 ms polls."""
+
+    def test_trivial_run_returns_quickly(self):
+        import time as _time
+
+        world = SimWorld(4)
+        t0 = _time.monotonic()
+        for _ in range(10):
+            out = world.run(lambda comm: comm.rank)
+            assert out == [0, 1, 2, 3]
+        # 10 rounds under the old 5 ms poll floor cost >= 50 ms; the
+        # event-based path finishes each round in well under one poll
+        assert _time.monotonic() - t0 < 0.5
+
+    def test_timeout_still_raised(self):
+        world = SimWorld(2)
+
+        def hang_rank_1(comm):
+            if comm.rank == 1:
+                comm.recv(0, tag=99, timeout=30.0)  # never sent
+            return comm.rank
+
+        with pytest.raises(TimeoutError):
+            world.run(hang_rank_1, timeout=0.2)
+
+    def test_error_abandons_parked_peers(self):
+        world = SimWorld(3)
+
+        def fail_fast(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.recv(0, timeout=30.0)  # parked forever
+
+        import time as _time
+
+        t0 = _time.monotonic()
+        with pytest.raises(RuntimeError, match="boom"):
+            world.run(fail_fast, timeout=30.0)
+        # early abandon: bounded by the 0.2 s grace, not the timeout
+        assert _time.monotonic() - t0 < 2.0

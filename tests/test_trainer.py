@@ -157,3 +157,79 @@ class TestCheckpoint:
         _, plan2, _ = load_checkpoint(path, num_stages=3)
         assert plan2.num_stages == 3
         assert plan2.num_layers == 12
+
+
+class TestIterationCache:
+    """The per-trainer iteration memoiser: bounded LRU + version-gated
+    state fingerprinting."""
+
+    def _trainer(self, cost, specs, iters=10):
+        cfg = TrainingConfig(iterations=iters, pp_stages=4, dp_ways=1)
+        return Trainer(cfg, cost, StaticScheme(specs))
+
+    def test_lru_evicts_oldest_not_everything(self, gpt24_cost, gpt24_specs):
+        t = self._trainer(gpt24_cost, gpt24_specs)
+        t._cache_capacity = 4
+        plans = [PipelinePlan.uniform(26, s) for s in (2, 3, 4, 5)]
+        for p in plans:
+            t.plan = p
+            t._iteration_result()
+        assert len(t._cache) == 4
+        # touch the oldest so it becomes most-recent ...
+        t.plan = plans[0]
+        t._iteration_result()
+        # ... then overflow: plans[1] (now the LRU entry) is evicted
+        t.plan = PipelinePlan.uniform(26, 6)
+        t._iteration_result()
+        assert len(t._cache) == 4
+        keys = list(t._cache)
+        assert all(k[0] != plans[1].boundaries for k in keys)
+        assert any(k[0] == plans[0].boundaries for k in keys)
+
+    def test_cache_capacity_bounds_size(self, gpt24_cost, gpt24_specs):
+        t = self._trainer(gpt24_cost, gpt24_specs)
+        t._cache_capacity = 3
+        for s in range(2, 9):
+            t.plan = PipelinePlan.uniform(26, s)
+            t._iteration_result()
+        assert len(t._cache) == 3
+
+    def test_fingerprint_skipped_while_version_unchanged(
+        self, gpt24_cost, gpt24_specs, monkeypatch
+    ):
+        t = self._trainer(gpt24_cost, gpt24_specs)
+        calls = []
+        import repro.training.trainer as trainer_mod
+
+        real = trainer_mod.states_fingerprint
+        monkeypatch.setattr(
+            trainer_mod,
+            "states_fingerprint",
+            lambda states, out=None: calls.append(1) or real(states, out),
+        )
+        t.run()  # StaticScheme: version never changes
+        assert len(calls) == 1
+
+    def test_fingerprint_recomputed_on_version_bump(self, gpt24_cost, gpt24_specs):
+        t = self._trainer(gpt24_cost, gpt24_specs)
+        k1 = t._states_key()
+        assert t._states_key() == k1  # memoised
+        t.states[2].sparsity = 0.5
+        t.scheme.version += 1  # what advance() does on a change
+        k2 = t._states_key()
+        assert k2 != k1
+
+    def test_scheme_advance_bumps_version_only_on_change(self, gpt24_specs):
+        scheme = FreezingDynamism(gpt24_specs, freeze_every=10, tau0=10, seed=0)
+        states = scheme.initial_states()
+        v0 = scheme.version
+        scheme.advance(1, states)  # not a freeze step
+        assert scheme.version == v0
+        scheme.advance(30, states)  # freeze step well past tau0 (noisy)
+        assert scheme.version > v0
+
+    def test_states_fingerprint_buffer_reuse_matches(self):
+        states = fresh_states(5)
+        states[1].attn_density = 0.25
+        buf = np.empty((5, 6))
+        assert states_fingerprint(states, out=buf) == states_fingerprint(states)
