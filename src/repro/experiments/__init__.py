@@ -3,6 +3,7 @@
 from repro.experiments.common import (
     ScenarioSetup,
     build_scenario,
+    make_trainer,
     run_training,
     SCENARIOS,
 )
@@ -14,6 +15,7 @@ from repro.experiments.figure4 import run_figure4_repacking, run_overhead_table
 __all__ = [
     "ScenarioSetup",
     "build_scenario",
+    "make_trainer",
     "run_training",
     "SCENARIOS",
     "ascii_table",

@@ -195,7 +195,7 @@ def build_scenario(
     )
 
 
-def run_training(
+def make_trainer(
     setup: ScenarioSetup,
     mode: str,
     weight_by: str = "time",
@@ -209,8 +209,12 @@ def run_training(
     job_manager: ElasticJobManager | None = None,
     balance_cost: str = "measured",
     placement: str | None = "packed",
-) -> TrainingResult:
-    """Run one configuration.
+) -> Trainer:
+    """Build the Trainer for one configuration without running it.
+
+    The batched sweep executor uses this to collect whole bins of
+    compatible runs and drive them in lockstep;
+    :func:`run_training` is the build-then-run composition.
 
     mode ∈ {"megatron", "deepspeed", "dynmo-partition", "dynmo-diffusion",
             "tutel", "egeria", "dense-baseline"}.
@@ -261,7 +265,7 @@ def run_training(
             ),
         )
 
-    trainer = Trainer(
+    return Trainer(
         cfg,
         setup.cost,
         scheme,
@@ -270,4 +274,36 @@ def run_training(
         initial_plan=initial_plan,
         job_manager=job_manager,
     )
-    return trainer.run()
+
+
+def run_training(
+    setup: ScenarioSetup,
+    mode: str,
+    weight_by: str = "time",
+    repack: bool = False,
+    repack_target: int = 1,
+    repack_force: bool = False,
+    schedule: str = "zb",
+    iterations: int | None = None,
+    initial_plan: PipelinePlan | None = None,
+    scheme: DynamismScheme | None = None,
+    job_manager: ElasticJobManager | None = None,
+    balance_cost: str = "measured",
+    placement: str | None = "packed",
+) -> TrainingResult:
+    """Build and run one configuration (see :func:`make_trainer`)."""
+    return make_trainer(
+        setup,
+        mode,
+        weight_by=weight_by,
+        repack=repack,
+        repack_target=repack_target,
+        repack_force=repack_force,
+        schedule=schedule,
+        iterations=iterations,
+        initial_plan=initial_plan,
+        scheme=scheme,
+        job_manager=job_manager,
+        balance_cost=balance_cost,
+        placement=placement,
+    ).run()

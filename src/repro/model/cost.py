@@ -26,8 +26,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.model.config import GPTConfig
-from repro.sparse.kernels import best_kernel_time
+from repro.sparse.kernels import (
+    best_kernel_time,
+    cusparse_cost_model,
+    dense_cost_model,
+    sputnik_cost_model,
+)
 from repro.utils.validation import check_prob
 
 
@@ -242,6 +249,89 @@ class ModelCost:
             spec.matmul_flops - spec.ffn_flops, state.sparsity
         ) + self._matmul_time(spec.ffn_flops * state.moe_multiplier, state.sparsity)
         return fwd_matmul * state.token_fraction
+
+    # -- batched time tables ------------------------------------------------
+    def _spec_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(matmul-FFN dense part, FFN, attention-quad) FLOPs per layer."""
+        cols = getattr(self, "_spec_cols", None)
+        if cols is None:
+            matmul = np.array([sp.matmul_flops for sp in self.specs])
+            ffn = np.array([sp.ffn_flops for sp in self.specs])
+            quad = np.array([sp.attn_quad_flops for sp in self.specs])
+            cols = (matmul - ffn, ffn, quad)
+            self._spec_cols = cols
+        return cols
+
+    def _matmul_time_vec(self, flops: np.ndarray, sparsity: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`_matmul_time`: same formulas, same branch
+        outcomes, same float64 operations per element."""
+        pk = self.peak_flops * self.efficiency
+        dense = flops / pk
+        # best_kernel_time(flops, sparsity, pk / 0.62) candidates, with
+        # each model's constants read off the scalar cost models so the
+        # two paths can never drift apart
+        spk = pk / 0.62
+        dm, sm, cm = dense_cost_model(spk), sputnik_cost_model(spk), cusparse_cost_model(spk)
+        best = dm.overhead_s + flops * (1.0 - 0.0) / (spk * (dm.base_efficiency / (1.0 + dm.irregularity * 0.0)))
+        for m in (sm, cm):
+            eff = m.base_efficiency / (1.0 + m.irregularity * sparsity)
+            cand = m.overhead_s + flops * (1.0 - sparsity) / (spk * eff)
+            best = np.minimum(best, cand)
+        return np.where(flops <= 0, 0.0, np.where(sparsity <= 0.0, dense, best))
+
+    def batched_layer_times(
+        self, states_list: list[list[LayerState]], split: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-layer (fwd, bwd, wgt, token_fraction) for N state vectors.
+
+        Returns ``(N, L)`` float64 matrices whose rows are bit-identical
+        to calling :meth:`forward_time` / :meth:`backward_time` (or the
+        B/W split pair when ``split``) layer by layer: the vectorized
+        expressions perform the same float64 operations in the same
+        order per element.  ``wgt`` is zeros when not ``split`` (the
+        scalar path never computes it there).
+        """
+        L = len(self.specs)
+        for states in states_list:
+            self._check_states(states)
+        sp = np.array([[st.sparsity for st in states] for states in states_list])
+        fz = np.array([[st.frozen for st in states] for states in states_list])
+        dr = np.array([[st.droppable_bwd for st in states] for states in states_list])
+        ad = np.array([[st.attn_density for st in states] for states in states_list])
+        tf = np.array([[st.token_fraction for st in states] for states in states_list])
+        mm = np.array([[st.moe_multiplier for st in states] for states in states_list])
+        for name, mat in (("sparsity", sp), ("attn_density", ad), ("token_fraction", tf)):
+            if ((mat < 0) | (mat > 1)).any():
+                raise ValueError(f"{name} must be a probability in [0, 1]")
+        if (mm < 0).any():
+            raise ValueError("moe_multiplier must be >= 0")
+
+        dense_part, ffn_spec, quad_spec = self._spec_columns()
+        pk = self.peak_flops * self.efficiency
+        ffn = ffn_spec * mm
+        mt_dense = self._matmul_time_vec(np.broadcast_to(dense_part, sp.shape), sp)
+        mt_ffn = self._matmul_time_vec(ffn, sp)
+        quad_scaled = quad_spec * ad
+
+        fwd = mt_dense + mt_ffn
+        fwd = fwd + quad_scaled / pk
+        fwd = fwd * tf
+
+        fwd_matmul = mt_dense + mt_ffn
+        dw = np.where(fz, 0.0, fwd_matmul)
+        bwd_full = (fwd_matmul + dw) + (2.0 * quad_scaled) / pk
+        bwd_full = bwd_full * tf
+        if self.activation_checkpointing:
+            bwd_full = bwd_full + fwd
+        bwd_full = np.where(dr, 0.0, bwd_full)
+
+        if split:
+            wgt = np.where(dr | fz, 0.0, fwd_matmul * tf)
+            bwd = np.where(bwd_full == 0.0, 0.0, bwd_full - wgt)
+        else:
+            wgt = np.zeros((len(states_list), L))
+            bwd = bwd_full
+        return fwd, bwd, wgt, tf
 
     # -- memory -----------------------------------------------------------
     def param_bytes(self, spec: LayerSpec, state: LayerState) -> int:

@@ -1,13 +1,31 @@
-"""Process-pool sweep runner with caching, timeouts and failure isolation.
+"""Sweep runner: batched in-process, pooled, and serial execution.
 
 ``execute_spec`` is the single entry point that turns a
 :class:`RunSpec` into a :class:`RunRecord`; it is a module-level
 function so a :class:`~concurrent.futures.ProcessPoolExecutor` can
 pickle it to workers.  All exceptions are captured into the record
 (``status="error"``), so one bad variant never takes down a sweep.
-Per-run timeouts use ``SIGALRM`` inside the executing process, which
-works identically for serial (``jobs=1``) and pooled execution; on
-platforms without ``SIGALRM`` the timeout is a no-op.
+
+Execution backends (``jobs``):
+
+- ``jobs=0`` — the **batched executor**: bins compatible specs by
+  compiled key ``(schedule, stages, micro)`` and drives each bin's
+  Trainers in lockstep in this process, simulating every iteration's
+  cache misses as one vectorized batch (no pickling, no worker import
+  cost).  Specs whose pipelines can diverge mid-run (re-packing,
+  elasticity) fall back to the per-spec path.  Timeouts are enforced
+  with a monotonic-clock check between iterations and bins — they work
+  off the main thread, unlike ``SIGALRM``.
+- ``jobs=1`` — inline in the calling process.
+- ``jobs>1`` — a process pool, submitted in chunks (one future per
+  chunk of specs, not per spec) over a module-wide warm pool that is
+  reused across sweep calls, so repeat sweeps stop paying per-spec
+  pickle round-trips and per-call worker start-up.
+
+Per-run timeouts use ``SIGALRM`` inside the executing process where
+available; when the alarm cannot be armed (no SIGALRM, or off the main
+thread) the budget is still enforced post-hoc — an over-budget run is
+recorded as ``status="timeout"`` instead of silently passing.
 
 The experiments package imports this module (the figure drivers build
 their sweeps on top of it), so the heavy experiment imports happen
@@ -16,6 +34,7 @@ lazily inside the worker body to keep the import graph acyclic.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 import signal
@@ -38,13 +57,19 @@ class SweepTimeout(Exception):
 
 @contextmanager
 def _deadline(seconds: float | None):
-    usable = (
+    """Arm a SIGALRM deadline; yields True when actually armed.
+
+    The alarm only works on the main thread of a platform with
+    ``SIGALRM``; callers use the yielded flag to know whether the
+    budget must be enforced post-hoc instead of silently dropped.
+    """
+    usable = bool(
         seconds
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
-        yield
+        yield False
         return
 
     def _handler(signum, frame):
@@ -53,18 +78,19 @@ def _deadline(seconds: float | None):
     old = signal.signal(signal.SIGALRM, _handler)
     signal.alarm(max(1, int(math.ceil(seconds))))
     try:
-        yield
+        yield True
     finally:
         signal.alarm(0)
         signal.signal(signal.SIGALRM, old)
 
 
-def _run_spec(spec: RunSpec) -> dict:
+def _spec_scenario_and_trainer(spec: RunSpec):
+    """Build the scenario and (unrun) Trainer a spec describes."""
     # deferred: repro.experiments imports repro.orchestrator for the
     # figure drivers, so importing it at module level would be circular
     from repro.cluster.job_manager import ElasticJobManager
     from repro.dynamics.base import StaticScheme
-    from repro.experiments.common import build_scenario, run_training
+    from repro.experiments.common import build_scenario, make_trainer
 
     if spec.mode not in MODES:
         raise ValueError(f"unknown mode {spec.mode!r}; choose from {MODES}")
@@ -84,7 +110,7 @@ def _run_spec(spec: RunSpec) -> dict:
         if spec.elastic_total_gpus is not None
         else None
     )
-    res = run_training(
+    trainer = make_trainer(
         setup,
         mode=spec.mode,
         weight_by=spec.weight_by,
@@ -97,7 +123,11 @@ def _run_spec(spec: RunSpec) -> dict:
         balance_cost=spec.balance_cost,
         placement=spec.placement,
     )
-    metrics = result_metrics(res)
+    return setup, trainer
+
+
+def _spec_metrics(setup, result) -> dict:
+    metrics = result_metrics(result)
     # effective shape (build_scenario may widen the pipeline, e.g. MoE)
     metrics["effective_pp_stages"] = setup.pp_stages
     metrics["effective_dp_ways"] = setup.dp_ways
@@ -105,48 +135,113 @@ def _run_spec(spec: RunSpec) -> dict:
     return metrics
 
 
+def _run_spec(spec: RunSpec) -> dict:
+    setup, trainer = _spec_scenario_and_trainer(spec)
+    return _spec_metrics(setup, trainer.run())
+
+
+def _error_record(spec: RunSpec, exc: BaseException, duration: float = 0.0) -> RunRecord:
+    # format from the exception object, not the ambient sys.exc_info():
+    # lockstep outcomes are handed over *outside* their except block
+    trace = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__, limit=8)
+    )
+    return RunRecord(
+        spec=spec,
+        spec_hash=spec.spec_hash,
+        status="error",
+        duration_s=duration,
+        error=f"{type(exc).__name__}: {exc}\n{trace}",
+        error_type=type(exc).__name__,
+    )
+
+
+def _timeout_record(spec: RunSpec, message: str, duration: float) -> RunRecord:
+    return RunRecord(
+        spec=spec,
+        spec_hash=spec.spec_hash,
+        status="timeout",
+        duration_s=duration,
+        error=message,
+        error_type="SweepTimeout",
+    )
+
+
 def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunRecord:
     """Run one spec, capturing any failure into the returned record."""
     start = time.perf_counter()
     try:
-        with _deadline(timeout_s):
+        with _deadline(timeout_s) as armed:
             metrics = _run_spec(spec)
+        duration = time.perf_counter() - start
+        if timeout_s and not armed and duration > timeout_s:
+            # the alarm could not be armed (off the main thread, or no
+            # SIGALRM); enforce the budget post-hoc so over-budget runs
+            # are recorded consistently instead of silently passing
+            return _timeout_record(
+                spec,
+                f"exceeded {timeout_s:.0f}s budget "
+                f"(detected post-hoc: ran {duration:.1f}s)",
+                duration,
+            )
         return RunRecord(
             spec=spec,
             spec_hash=spec.spec_hash,
             status="ok",
-            duration_s=time.perf_counter() - start,
+            duration_s=duration,
             metrics=metrics,
         )
     except SweepTimeout as exc:
-        return RunRecord(
-            spec=spec,
-            spec_hash=spec.spec_hash,
-            status="timeout",
-            duration_s=time.perf_counter() - start,
-            error=str(exc),
-            error_type="SweepTimeout",
-        )
+        return _timeout_record(spec, str(exc), time.perf_counter() - start)
     except Exception as exc:
-        return RunRecord(
-            spec=spec,
-            spec_hash=spec.spec_hash,
-            status="error",
-            duration_s=time.perf_counter() - start,
-            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=8)}",
-            error_type=type(exc).__name__,
-        )
+        return _error_record(spec, exc, time.perf_counter() - start)
+
+
+def _execute_chunk(specs: list[RunSpec], timeout_s: float | None) -> list[RunRecord]:
+    """Worker body for pooled execution: one pickle round-trip per chunk."""
+    return [execute_spec(spec, timeout_s) for spec in specs]
+
+
+# -- warm worker pools -------------------------------------------------------
+# One module-wide pool per worker count, reused across SweepRunner
+# instances and sweep calls: repeat sweeps (figure drivers, notebook
+# loops) pay interpreter start-up and imports once per process, not
+# once per call.  SweepRunner.close() detaches; the pools are shut
+# down at interpreter exit.
+
+_SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _SHARED_POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOLS[workers] = pool
+    return pool
+
+
+def _discard_shared_pool(workers: int) -> None:
+    pool = _SHARED_POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def _shutdown_shared_pools() -> None:
+    for workers in list(_SHARED_POOLS):
+        _discard_shared_pool(workers)
 
 
 ProgressFn = Callable[[int, int, RunRecord], None]
 
 
 class SweepRunner:
-    """Executes RunSpecs, serving repeats from cache and misses from a pool.
+    """Executes RunSpecs, serving repeats from cache and misses from an
+    execution backend.
 
-    ``jobs=1`` runs inline in the calling process (no pickling, no
-    spawn overhead — what tests and small figure runs want); ``jobs>1``
-    fans misses out over a :class:`ProcessPoolExecutor`.  Results come
+    ``jobs=0`` runs the batched in-process executor (lockstep bins over
+    the vectorized engine), ``jobs=1`` runs inline serially, ``jobs>1``
+    fans chunks of specs out over a warm process pool.  Results come
     back in spec order regardless of completion order.
     """
 
@@ -158,7 +253,9 @@ class SweepRunner:
         progress: ProgressFn | None = None,
         refresh: bool = False,
     ) -> None:
-        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        self.jobs = 0 if jobs == 0 else max(1, jobs)
         self.cache = cache
         self.timeout_s = timeout_s
         self.progress = progress
@@ -166,19 +263,22 @@ class SweepRunner:
         # a forced re-run replaces stale entries instead of orphaning them
         self.refresh = refresh
         self._pool: ProcessPoolExecutor | None = None
-        if timeout_s and not hasattr(signal, "SIGALRM"):
+        if timeout_s and self.jobs != 0 and not hasattr(signal, "SIGALRM"):
             warnings.warn(
                 "per-run timeouts need SIGALRM, which this platform lacks; "
-                "timeout_s will not be enforced",
+                "timeout_s is only enforced post-hoc (jobs=0 enforces it "
+                "with a monotonic clock)",
                 RuntimeWarning,
                 stacklevel=2,
             )
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Detach from the warm worker pool (idempotent).
+
+        The pool itself stays warm for the next sweep call; it is shut
+        down at interpreter exit (or explicitly discarded when broken).
+        """
+        self._pool = None
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -211,39 +311,126 @@ class SweepRunner:
         if not pending:
             return [r for r in records if r is not None]
 
+        if self.jobs == 0:
+            self._run_batched([(i, specs[i]) for i in pending], finish)
+            return [r for r in records if r is not None]
+
         if self.jobs == 1 or len(pending) == 1:
             for i in pending:
                 finish(i, execute_spec(specs[i], self.timeout_s))
             return [r for r in records if r is not None]
 
-        # the pool is created lazily and reused across run() calls, so
-        # multi-panel drivers (fig3 over several scenarios/depths) pay
-        # worker startup once per runner, not once per panel
+        # chunked submission over the warm module-wide pool: one future
+        # (and one pickle round-trip) per chunk of specs, not per spec
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = _shared_pool(self.jobs)
+        chunk_size = max(1, math.ceil(len(pending) / (self.jobs * 4)))
+        chunks = [
+            pending[at : at + chunk_size]
+            for at in range(0, len(pending), chunk_size)
+        ]
         broken = False
         futures = {
-            self._pool.submit(execute_spec, specs[i], self.timeout_s): i
-            for i in pending
+            self._pool.submit(
+                _execute_chunk, [specs[i] for i in chunk], self.timeout_s
+            ): chunk
+            for chunk in chunks
         }
         for fut in as_completed(futures):
-            i = futures[fut]
+            chunk = futures[fut]
             try:
-                record = fut.result()
+                chunk_records = fut.result()
             except Exception as exc:  # worker died (BrokenProcessPool, ...)
                 broken = True
-                record = RunRecord(
-                    spec=specs[i],
-                    spec_hash=specs[i].spec_hash,
-                    status="error",
-                    error=f"{type(exc).__name__}: {exc}",
-                    error_type=type(exc).__name__,
-                )
-            finish(i, record)
+                chunk_records = [
+                    RunRecord(
+                        spec=specs[i],
+                        spec_hash=specs[i].spec_hash,
+                        status="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_type=type(exc).__name__,
+                    )
+                    for i in chunk
+                ]
+            for i, record in zip(chunk, chunk_records):
+                finish(i, record)
         if broken:
-            # a dead worker poisons the executor; start fresh next run
-            self.close()
+            # a dead worker poisons the executor; discard the shared
+            # pool so the next run starts a fresh one
+            _discard_shared_pool(self.jobs)
+            self._pool = None
         return [r for r in records if r is not None]
+
+    # -- batched in-process execution ---------------------------------------
+    def _run_batched(
+        self,
+        pending: list[tuple[int, RunSpec]],
+        finish: Callable[[int, RunRecord], None],
+    ) -> None:
+        """Evaluate specs binned by compiled key, whole bins in lockstep.
+
+        Specs whose pipeline shape can diverge mid-run (re-packing,
+        elasticity) are executed on the per-spec path instead — their
+        stage count, and so their compiled key, is result-dependent.
+        Timeouts are wall-clock checks between iterations (inside
+        lockstep) and around the per-spec fallback, recorded as
+        ``status="timeout"`` like the signal-based path.
+        """
+        from repro.training.lockstep import LockstepTimeout, run_trainers_lockstep
+
+        bins: dict[tuple, list[tuple[int, RunSpec, object, object]]] = {}
+        for i, spec in pending:
+            if spec.repack or spec.elastic_total_gpus is not None:
+                # execute_spec arms SIGALRM when possible and otherwise
+                # enforces the budget post-hoc, so the fallback path
+                # reports timeouts exactly like the pooled path
+                finish(i, execute_spec(spec, self.timeout_s))
+                continue
+            start = time.perf_counter()
+            try:
+                setup, trainer = _spec_scenario_and_trainer(spec)
+            except Exception as exc:
+                finish(i, _error_record(spec, exc, time.perf_counter() - start))
+                continue
+            key = (
+                spec.schedule,
+                trainer.plan.num_stages,
+                trainer.cfg.micro_batches,
+            )
+            bins.setdefault(key, []).append((i, spec, setup, trainer))
+
+        for entries in bins.values():
+            t0 = time.perf_counter()
+            # the bin advances all runs together, so the per-run budget
+            # scales to a whole-bin deadline: a bin of N runs may take
+            # N x timeout_s before its still-active runs time out —
+            # runs that fit the budget solo are not penalised for
+            # sharing a bin
+            deadline = (
+                self.timeout_s * len(entries) if self.timeout_s else self.timeout_s
+            )
+            outcomes = run_trainers_lockstep(
+                [(trainer, None) for _, _, _, trainer in entries],
+                deadline_s=deadline,
+            )
+            wall = time.perf_counter() - t0
+            share = wall / len(entries)
+            for (i, spec, setup, _), outcome in zip(entries, outcomes):
+                if isinstance(outcome, LockstepTimeout):
+                    finish(i, _timeout_record(spec, str(outcome), share))
+                elif isinstance(outcome, BaseException):
+                    finish(i, _error_record(spec, outcome, share))
+                else:
+                    finish(
+                        i,
+                        RunRecord(
+                            spec=spec,
+                            spec_hash=spec.spec_hash,
+                            status="ok",
+                            duration_s=share,
+                            metrics=_spec_metrics(setup, outcome),
+                        ),
+                    )
 
 
 def run_specs(

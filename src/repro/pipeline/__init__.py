@@ -9,6 +9,10 @@
 - :mod:`compiled` — process-wide cached flat op tables and the fast
   topological executor behind ``PipelineEngine.run_iteration``
   (bit-identical to the reference ready-loop);
+- :mod:`batched` — vectorized multi-run replay of the compiled op
+  tables: N scenarios execute as one level-by-level NumPy cascade
+  (behind ``PipelineEngine.run_iterations_batched``), each scenario
+  bit-identical to the scalar paths;
 - :mod:`migration` — layer-movement plans between two pipeline plans
   plus their communication cost (DynMo's "move layers while gradients
   are computed" step).
@@ -17,6 +21,7 @@
 from repro.pipeline.plan import PipelinePlan
 from repro.pipeline.schedules import Schedule, OpKind, Op
 from repro.pipeline.compiled import CompiledSchedule, compile_schedule
+from repro.pipeline.batched import CompiledLevels, compile_levels, simulate_many
 from repro.pipeline.engine import PipelineEngine, IterationResult
 from repro.pipeline.migration import MigrationPlan, diff_plans
 
@@ -27,6 +32,9 @@ __all__ = [
     "Op",
     "CompiledSchedule",
     "compile_schedule",
+    "CompiledLevels",
+    "compile_levels",
+    "simulate_many",
     "PipelineEngine",
     "IterationResult",
     "MigrationPlan",

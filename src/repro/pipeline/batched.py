@@ -1,0 +1,474 @@
+"""Batched simulation backend: vectorized multi-run replay of op tables.
+
+:mod:`repro.pipeline.compiled` made *one* run fast by compiling the
+dependency structure of ``(schedule, S, M)`` into flat op tables and
+replaying them as a scalar event cascade.  Sweeps, however, replay the
+*same* tables N times — once per (placement x cluster x dynamism-state
+x seed) scenario — and each replay pays 2·S·M Python-level loop steps.
+Its own docstring is right that NumPy loses to CPython on a *scalar*
+cascade; the scenario axis is exactly what amortises it.
+
+This module stacks the N per-run duration/transfer tables into
+``(N, slots)`` float64 matrices and replays the topological op order
+**once**, with every step vectorized across the N-scenario axis:
+
+- ops are grouped into *levels* (antichains of the dependency DAG with
+  at most one op per stage), compiled once per ``(schedule, S, M)``
+  and cached process-wide alongside the op tables;
+- one level executes as a handful of NumPy column operations —
+  ``finish[:, ops] = maximum(finish[:, pred] + xfer, worker_time) + dur``
+  — instead of N Python iterations per op;
+- the ZB weight-grad filler replays the exact two-pointer merge per
+  scenario over gap lists extracted vectorized from the cascade (the
+  merge is data-dependent control flow; its inputs and arithmetic are
+  identical, so its outputs are too).
+
+Bit-identity: per scenario column, the same IEEE-754 operations run in
+the same order as the scalar compiled executor (elementwise float64
+``maximum``/``+`` are the same operations CPython performs on floats),
+so every scenario's ``IterationResult`` is bit-identical to both the
+compiled scalar path and the reference ready-loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.pipeline.compiled import CompiledSchedule, compile_schedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.model.cost import LayerState
+    from repro.pipeline.engine import IterationResult, PipelineEngine
+    from repro.pipeline.plan import PipelinePlan
+
+#: lanes per batched executor call; bounds the ``(N, num_ops)`` scratch
+#: matrices (256 lanes x 8192 ops x 8 B = 16 MB per matrix) while
+#: keeping per-level NumPy calls well amortised.
+MAX_LANES = 256
+
+
+@dataclass(frozen=True)
+class CompiledLevels:
+    """Level decomposition of a :class:`CompiledSchedule`, cached per key.
+
+    Ops are permuted into *level-major* order: ``perm[j]`` is the
+    original (topological) op id of level-major op ``j``.  Each level is
+    a contiguous ``[lo, hi)`` range of ops with pairwise-distinct stages
+    and all predecessors in earlier levels, so one level executes as a
+    single set of NumPy column operations.  Predecessor ids are remapped
+    to level-major; ``-1`` (no predecessor) points at a dummy finish
+    column holding 0.0, which — with the op table's zero-transfer edge —
+    reproduces the scalar path's ``ready = 0.0`` exactly.
+    """
+
+    cs: CompiledSchedule
+    #: per level: (lo, hi, level-major predecessor ids, stage ids)
+    levels: tuple[tuple[int, int, np.ndarray, np.ndarray], ...]
+    dur_slot: np.ndarray  # (num_ops,) level-major duration-table slots
+    edge: np.ndarray  # (num_ops,) level-major transfer-table slots
+    #: per stage, level-major ids of its ops in execution order
+    stage_ops: tuple[np.ndarray, ...]
+    #: per stage, level-major ids of its B ops in execution order
+    b_ids: tuple[np.ndarray, ...]
+    #: True when every stage's B micros ascend in execution order, i.e.
+    #: the scalar filler's ``sorted((finish, micro))`` is provably the
+    #: identity for *any* non-negative durations (finish times per stage
+    #: are non-decreasing in execution order).  Always true for the
+    #: schedules in this repo; a False value routes zb runs through the
+    #: scalar path instead of silently reordering fills.
+    b_sorted: bool
+
+    @property
+    def num_ops(self) -> int:
+        return self.cs.num_ops
+
+
+@lru_cache(maxsize=256)
+def compile_levels(name: str, num_stages: int, num_micro: int) -> CompiledLevels:
+    """Level-decompose a compiled schedule (process-wide cached)."""
+    cs = compile_schedule(name, num_stages, num_micro)
+    S, num_ops = cs.num_stages, cs.num_ops
+    depth = np.empty(num_ops, dtype=np.intp)
+    stage_depth = [-1] * S
+    for i, (s, p) in enumerate(zip(cs.stage, cs.pred)):
+        d = stage_depth[s] + 1
+        if p >= 0:
+            pd = depth[p] + 1
+            if pd > d:
+                d = pd
+        depth[i] = d
+        stage_depth[s] = d
+
+    perm = np.argsort(depth, kind="stable")  # level-major, topo within level
+    inv = np.empty(num_ops, dtype=np.intp)
+    inv[perm] = np.arange(num_ops, dtype=np.intp)
+
+    stage_arr = np.asarray(cs.stage, dtype=np.intp)[perm]
+    dur_slot = np.asarray(cs.dur_slot, dtype=np.intp)[perm]
+    edge = np.asarray(cs.edge, dtype=np.intp)[perm]
+    pred_perm = np.asarray(cs.pred, dtype=np.intp)[perm]
+    # -1 -> dummy finish column num_ops (0.0); its edge slot is already
+    # the zero-transfer slot, so ready = 0.0 + 0.0 = 0.0 exactly
+    pred = np.where(pred_perm >= 0, inv[np.maximum(pred_perm, 0)], num_ops)
+
+    sorted_depth = depth[perm]
+    bounds = np.searchsorted(sorted_depth, np.arange(sorted_depth[-1] + 2))
+    levels = tuple(
+        (int(lo), int(hi), pred[lo:hi].copy(), stage_arr[lo:hi].copy())
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    )
+
+    stage_ops = tuple(np.nonzero(stage_arr == s)[0] for s in range(S))
+    b_ids = tuple(
+        np.asarray([inv[op_id] for op_id, _ in cs.b_ops[s]], dtype=np.intp)
+        for s in range(S)
+    )
+    b_sorted = all(
+        all(a < b for a, b in zip(micros, micros[1:]))
+        for micros in ([m for _, m in cs.b_ops[s]] for s in range(S))
+    )
+    return CompiledLevels(
+        cs=cs,
+        levels=levels,
+        dur_slot=dur_slot,
+        edge=edge,
+        stage_ops=stage_ops,
+        b_ids=b_ids,
+        b_sorted=b_sorted,
+    )
+
+
+def execute_compiled_batched(
+    lv: CompiledLevels,
+    fwd: np.ndarray,
+    bwd: np.ndarray,
+    wgt: np.ndarray,
+    fwd_xfer: np.ndarray,
+    bwd_xfer: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replay the compiled cascade for N scenarios at once.
+
+    ``fwd``/``bwd``/``wgt`` are ``(N, S)`` per-run duration tables,
+    ``fwd_xfer``/``bwd_xfer`` are ``(N, S-1)`` per-run transfer tables.
+    Returns ``(worker_time, busy)`` as ``(N, S)`` float64 arrays whose
+    rows are bit-identical to the scalar executor's outputs for the
+    same row of inputs.
+    """
+    cs = lv.cs
+    if cs.zb and not lv.b_sorted:
+        raise ValueError(
+            f"schedule {cs.name!r} emits B ops out of micro order; "
+            "the batched ZB filler requires the compile-time order "
+            "(run these scenarios through the scalar path)"
+        )
+    n, S = fwd.shape[0], cs.num_stages
+    num_ops = lv.num_ops
+    dur = np.concatenate([fwd, bwd], axis=1)
+    zero = np.zeros((n, 1))
+    xfer = np.concatenate([fwd_xfer, bwd_xfer, zero], axis=1)
+    D = dur[:, lv.dur_slot]  # (n, num_ops) level-major per-op durations
+    # x + 0.0 == x for the non-negative finish times here, so a run
+    # with no transfer costs (comm=None) skips the per-level edge add
+    has_xfer = bool(xfer.any())
+    if has_xfer:
+        X = xfer[:, lv.edge]  # (n, num_ops) level-major per-op edge costs
+    finish = np.empty((n, num_ops + 1))
+    finish[:, num_ops] = 0.0  # dummy predecessor column
+    worker_time = np.zeros((n, S))
+    if cs.zb:
+        starts = np.empty((n, num_ops))
+        wts = np.empty((n, num_ops))
+    for lo, hi, pred, stages in lv.levels:
+        ready = finish[:, pred]
+        if has_xfer:
+            ready += X[:, lo:hi]
+        wt = worker_time[:, stages]
+        start = np.maximum(ready, wt)
+        end = start + D[:, lo:hi]
+        finish[:, lo:hi] = end
+        worker_time[:, stages] = end
+        if cs.zb:
+            starts[:, lo:hi] = start
+            wts[:, lo:hi] = wt
+    # busy[s] accumulates durations in the stage's execution order;
+    # cumsum performs the identical sequential float64 adds (NumPy's
+    # reduce would pairwise-sum, which rounds differently)
+    busy = np.zeros((n, S))
+    for s in range(S):
+        busy[:, s] = np.cumsum(D[:, lv.stage_ops[s]], axis=1)[:, -1]
+    if cs.zb:
+        _fill_weight_grads_batched(lv, wgt, finish, starts, wts, worker_time, busy)
+    return worker_time, busy
+
+
+def _fill_weight_grads_batched(
+    lv: CompiledLevels,
+    wgt: np.ndarray,
+    finish: np.ndarray,
+    starts: np.ndarray,
+    wts: np.ndarray,
+    worker_time: np.ndarray,
+    busy: np.ndarray,
+) -> None:
+    """Per-scenario exact replay of the two-pointer W filler.
+
+    The merge itself is data-dependent control flow (which W item lands
+    in which gap differs per scenario), so it stays scalar per lane —
+    but everything feeding it is vectorized: gap intervals come from the
+    cascade's ``(start > worker_time)`` columns via one ``nonzero`` per
+    stage, and item availabilities are one gather of the B-op finish
+    columns.  The per-lane loop performs the same operations on the same
+    values in the same order as
+    :func:`repro.pipeline.compiled._fill_weight_grads_merged`, minus the
+    per-run ``sorted()`` — the compile-time B order is provably the sort
+    order (finishes are non-decreasing per stage, micros ascend).
+    """
+    n, S = wgt.shape[0], lv.cs.num_stages
+    for s in range(S):
+        b = lv.b_ids[s]
+        n_items = len(b)
+        per_w_col = wgt[:, s]
+        busy[:, s] += per_w_col * n_items
+        if n_items == 0 or not np.any(per_w_col > 0):
+            continue
+        # gap intervals per lane, extracted vectorized from the cascade
+        # ((worker_time, start) pairs where start > worker_time — the
+        # scalar executor's gap-recording condition)
+        ops = lv.stage_ops[s]
+        g0m = wts[:, ops]
+        g1m = starts[:, ops]
+        rows, cols = np.nonzero(g1m > g0m)  # row-major: per-lane chronological
+        g0v = g0m[rows, cols].tolist()
+        g1v = g1m[rows, cols].tolist()
+        offs = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.bincount(rows, minlength=n), out=offs[1:])
+        offs_l = offs.tolist()
+        avail_rows = finish[:, b].tolist()
+        per_w_l = per_w_col.tolist()
+        partials = [0.0] * n
+        tails = [0] * n
+        for lane in range(n):
+            per_w = per_w_l[lane]
+            if per_w <= 0:
+                continue
+            lo, hi = offs_l[lane], offs_l[lane + 1]
+            res = _merge_lane_head(
+                g0v, g1v, lo, hi, avail_rows[lane], per_w, n_items
+            )
+            if res is None:  # FP sliver corner: general per-item merge
+                res = _merge_lane(
+                    g0v, g1v, lo, hi, avail_rows[lane], per_w, n_items
+                )
+            partials[lane], tails[lane] = res
+        # Finish each lane's leftover sum vectorized: the reference adds
+        # the untouched tail items — ``tails[lane]`` copies of per_w —
+        # one by one onto the touched prefix's partial sum.  A row-wise
+        # ``add.accumulate`` performs exactly those sequential float64
+        # adds; rows are padded with 0.0 (x + 0.0 == x for the
+        # non-negative work amounts here), and lanes with per_w <= 0
+        # contribute 0.0 like the scalar path's early ``continue``.
+        max_tail = max(tails)
+        acc = np.zeros((n, max_tail + 1))
+        acc[:, 0] = partials
+        if max_tail:
+            mask = np.arange(1, max_tail + 1) <= np.asarray(tails)[:, None]
+            acc[:, 1:] = np.where(mask, per_w_col[:, None], 0.0)
+        leftovers = np.add.accumulate(acc, axis=1)[:, -1]
+        # the scalar path adds leftover only when > 0; x + 0.0 == x
+        # exactly for the non-negative times here, so add unconditionally
+        worker_time[:, s] += leftovers
+
+
+def _merge_lane_head(
+    g0v: list,
+    g1v: list,
+    lo: int,
+    hi: int,
+    avails: list,
+    per_w: float,
+    n_items: int,
+) -> tuple[float, int] | None:
+    """Single-partial-head replay of the two-pointer merge for one lane.
+
+    Invariant of the scalar merge: at most one item is ever partially
+    drained (the head at ``ptr``) — an item is only left partial when
+    its gap is exhausted, and the next gap resumes at that same item —
+    so the whole ``left`` array collapses to one running value.  The
+    float64 operations (max, sub, cmp, add) run on the same values in
+    the same order as ``_fill_weight_grads_merged``.  Returns
+    ``(partial, tail)`` like :func:`_merge_lane`, or None on the one FP
+    corner that breaks the invariant ("sliver": ``start + cap < g1``
+    after a gap-exhausting fill, so the scalar loop pours the *next*
+    item into the remaining sliver of the same gap) — the caller then
+    re-runs the lane with the general per-item merge.
+    """
+    ptr = 0
+    lh = per_w
+    gi = lo
+    while gi < hi and ptr < n_items:
+        g0 = g0v[gi]
+        g1 = g1v[gi]
+        while True:
+            avail = avails[ptr]
+            if avail >= g1:
+                break
+            start = g0 if g0 > avail else avail
+            cap = g1 - start
+            if lh <= cap:
+                g0 = start + lh
+                ptr += 1
+                lh = per_w
+                if ptr >= n_items or g0 >= g1:
+                    break
+            else:
+                lh = lh - cap
+                g0 = start + cap
+                if g0 >= g1:
+                    break
+                return None  # sliver: general merge handles it
+        gi += 1
+    if ptr >= n_items:
+        return 0.0, 0
+    touched = lh < per_w
+    return (lh if touched else 0.0), n_items - ptr - touched
+
+
+def _merge_lane(
+    g0v: list,
+    g1v: list,
+    lo: int,
+    hi: int,
+    avails: list,
+    per_w: float,
+    n_items: int,
+) -> tuple[float, int]:
+    """One lane-stage of the sorted two-pointer merge.
+
+    Verbatim arithmetic of ``_fill_weight_grads_merged`` (same max/min/
+    +/- on the same values in the same order), with gaps taken from
+    ``g0v``/``g1v``[lo:hi] and item availabilities from ``avails``.
+    Returns ``(partial, tail)``: the reference's leftover sum over the
+    *touched* item prefix (zero entries skipped — adding 0.0 is the
+    identity) and the count of untouched trailing items, each still
+    holding exactly ``per_w``, for the caller's vectorized tail adds.
+    """
+    left = [per_w] * n_items
+    ptr = 0
+    touched = 0  # items [0, touched) may have been modified
+    for gi in range(lo, hi):
+        if ptr >= n_items:
+            break
+        g0 = g0v[gi]
+        g1 = g1v[gi]
+        j = ptr
+        while j < n_items:
+            lw = left[j]
+            if lw <= 0.0:
+                j += 1
+                continue
+            avail = avails[j]
+            if avail >= g1:
+                break
+            start = g0 if g0 > avail else avail
+            cap = g1 - start
+            use = lw if lw <= cap else cap
+            left[j] = lw - use
+            if j >= touched:
+                touched = j + 1
+            g0 = start + use
+            if g0 >= g1:
+                break
+            j += 1
+        while ptr < n_items and left[ptr] <= 0.0:
+            ptr += 1
+    partial = 0.0
+    for j in range(ptr, touched):
+        lw = left[j]
+        if lw != 0.0:
+            partial += lw
+    # ptr never passes ``touched``: it only skips drained (modified) items
+    return partial, n_items - touched
+
+
+def simulate_many(
+    requests: Sequence[tuple["PipelineEngine", "PipelinePlan", list["LayerState"]]],
+) -> list["IterationResult"]:
+    """Simulate many (engine, plan, states) scenarios, batching by key.
+
+    Scenarios are binned by compiled key ``(schedule, S, M)``; each bin
+    replays the op tables once with the scenario axis vectorized.
+    Scenarios that cannot take the batched path — timeline recording,
+    ``use_compiled=False``, a bin of one, or a schedule the batched ZB
+    filler cannot prove order for — fall back to the scalar engine,
+    which is bit-identical anyway.  Results come back in request order.
+    """
+    results: list["IterationResult" | None] = [None] * len(requests)
+    groups: dict[tuple[str, int, int], list[int]] = {}
+    for i, (eng, plan, states) in enumerate(requests):
+        if eng.record_timeline or not eng.use_compiled:
+            results[i] = eng.run_iteration(plan, states)
+            continue
+        key = (eng.schedule.name, plan.num_stages, eng.num_micro)
+        groups.setdefault(key, []).append(i)
+
+    for (name, S, M), idxs in groups.items():
+        lv = compile_levels(name, S, M)
+        if len(idxs) == 1 or (lv.cs.zb and not lv.b_sorted):
+            for i in idxs:
+                eng, plan, states = requests[i]
+                results[i] = eng.run_iteration(plan, states)
+            continue
+        for chunk_at in range(0, len(idxs), MAX_LANES):
+            chunk = idxs[chunk_at : chunk_at + MAX_LANES]
+            n = len(chunk)
+            fwd = np.empty((n, S))
+            bwd = np.empty((n, S))
+            wgt = np.empty((n, S))
+            act = np.empty((n, S))
+            # lanes sharing an engine and plan build their stage-time
+            # tables vectorized across the lane axis; a lone lane (or
+            # lanes from distinct engines, as in cross-run lockstep)
+            # falls back to the scalar stage_times — both bit-identical
+            sub: dict[tuple[int, tuple], list[int]] = {}
+            for lane, i in enumerate(chunk):
+                eng, plan, _ = requests[i]
+                sub.setdefault((id(eng), plan.boundaries), []).append(lane)
+            for lanes in sub.values():
+                eng, plan, _ = requests[chunk[lanes[0]]]
+                if len(lanes) > 1:
+                    for lane in lanes:
+                        eng._check_placement(requests[chunk[lane]][1])
+                    f, b, w, a = eng.batched_stage_times(
+                        plan, [requests[chunk[lane]][2] for lane in lanes]
+                    )
+                    fwd[lanes], bwd[lanes], wgt[lanes], act[lanes] = f, b, w, a
+                else:
+                    lane = lanes[0]
+                    eng._check_placement(plan)
+                    f, b, w, a = eng.stage_times(plan, requests[chunk[lane]][2])
+                    fwd[lane], bwd[lane], wgt[lane], act[lane] = f, b, w, a
+            fwd_xfer = np.empty((n, S - 1))
+            bwd_xfer = np.empty((n, S - 1))
+            for lane, i in enumerate(chunk):
+                eng = requests[i][0]
+                a = act[lane]
+                fwd_xfer[lane] = [
+                    eng._edge_time(s, s + 1, a[s]) for s in range(S - 1)
+                ]
+                bwd_xfer[lane] = [
+                    eng._edge_time(s + 1, s, a[s]) for s in range(S - 1)
+                ]
+            worker_time, busy = execute_compiled_batched(
+                lv, fwd, bwd, wgt, fwd_xfer, bwd_xfer
+            )
+            for lane, i in enumerate(chunk):
+                eng, plan, states = requests[i]
+                results[i] = eng._finalize_batched_lane(
+                    plan, states, worker_time[lane], busy[lane]
+                )
+    return results  # type: ignore[return-value]

@@ -26,6 +26,7 @@ Megatron's default non-overlapped reduce).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -200,6 +201,73 @@ class PipelineEngine:
         if self.record_timeline or not self.use_compiled:
             return self.run_iteration_reference(plan, states)
         return self._run_iteration_compiled(plan, states)
+
+    def run_iterations_batched(
+        self, scenarios: Sequence[tuple[PipelinePlan, list[LayerState]]]
+    ) -> list[IterationResult]:
+        """Simulate many (plan, states) scenarios in one vectorized pass.
+
+        Scenarios sharing a compiled key (this engine's schedule and
+        micro count, the plan's stage count) are replayed together with
+        the scenario axis vectorized (:mod:`repro.pipeline.batched`);
+        heterogeneous scenarios split into per-key bins, and bins of one
+        — or engines forced onto the reference path — fall back to
+        :meth:`run_iteration`.  Every result is bit-identical to the
+        scalar path for the same scenario.
+        """
+        from repro.pipeline.batched import simulate_many
+
+        return simulate_many([(self, plan, states) for plan, states in scenarios])
+
+    def batched_stage_times(
+        self, plan: PipelinePlan, states_list: list[list[LayerState]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`stage_times` for N state vectors as ``(N, S)`` matrices.
+
+        Rows are bit-identical to the scalar method: per-layer times
+        come from :meth:`ModelCost.batched_layer_times` (same float64
+        ops elementwise) and each stage's layer sum uses ``cumsum`` —
+        the same sequential adds as the scalar accumulation loop.
+        """
+        split = self.schedule.name == "zb"
+        ft, bt, wt, tf = self.cost.batched_layer_times(states_list, split)
+        n, S = len(states_list), plan.num_stages
+        fwd = np.empty((n, S))
+        bwd = np.empty((n, S))
+        wgt = np.zeros((n, S))
+        act_bytes = np.empty((n, S))
+        bounds = plan.boundaries
+        specs = self.cost.specs
+        for s in range(S):
+            lo, hi = bounds[s], bounds[s + 1]
+            fwd[:, s] = np.cumsum(ft[:, lo:hi], axis=1)[:, -1]
+            bwd[:, s] = np.cumsum(bt[:, lo:hi], axis=1)[:, -1]
+            if split:
+                wgt[:, s] = np.cumsum(wt[:, lo:hi], axis=1)[:, -1]
+            act_bytes[:, s] = specs[hi - 1].activation_bytes * tf[:, hi - 1]
+        speeds = self._effective_speeds(S)
+        if speeds is not None:
+            fwd, bwd, wgt = fwd / speeds, bwd / speeds, wgt / speeds
+        return fwd, bwd, wgt, act_bytes
+
+    def _finalize_batched_lane(
+        self,
+        plan: PipelinePlan,
+        states: list[LayerState],
+        worker_time_row: np.ndarray,
+        busy_row: np.ndarray,
+    ) -> IterationResult:
+        """DP all-reduce + makespan for one lane (same ops as scalar)."""
+        worker_time = worker_time_row.tolist()
+        comm_extra = 0.0
+        if self.dp_ways > 1 and self.comm is not None:
+            grad_bytes = self._dp_grad_bytes(plan, states)
+            for s in range(plan.num_stages):
+                t = self.comm.allreduce_time(self._dp_group(s), grad_bytes[s])
+                worker_time[s] += t
+                comm_extra = max(comm_extra, t)
+        makespan = float(max(worker_time))
+        return IterationResult(makespan, np.array(busy_row), comm_extra, [])
 
     def _run_iteration_compiled(
         self, plan: PipelinePlan, states: list[LayerState]

@@ -1,0 +1,124 @@
+"""Lockstep execution of many Trainers with batched iteration simulation.
+
+The batched sweep executor (``repro sweep --jobs 0``) runs compatible
+RunSpecs in one process.  Each run is an independent Trainer, but all
+runs in a bin share a compiled key ``(schedule, S, M)`` — so instead of
+running them one after another, this driver advances every run one
+iteration at a time and simulates all of that iteration's cache misses
+in a single vectorized batch (:mod:`repro.pipeline.batched`).
+
+Per-run semantics are untouched: each Trainer executes the exact same
+begin / pre-iteration / post-iteration / finish hooks as
+:meth:`Trainer.run`, against its own scheme, controller, cache and
+accounting, so every ``TrainingResult`` is bit-identical to a solo run.
+A run that raises keeps its exception as its outcome without touching
+its bin-mates; an expired deadline converts all still-running runs to
+:class:`LockstepTimeout`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.pipeline.batched import simulate_many
+from repro.training.trainer import Trainer, TrainingResult
+
+
+class LockstepTimeout(Exception):
+    """A lockstep bin exceeded its wall-clock budget mid-run."""
+
+
+def run_trainers_lockstep(
+    entries: Sequence[tuple[Trainer, int | None]],
+    deadline_s: float | None = None,
+) -> list[TrainingResult | BaseException]:
+    """Run ``(trainer, iterations)`` pairs in lockstep.
+
+    Returns one outcome per entry, in order: a :class:`TrainingResult`,
+    or the exception that run raised, or :class:`LockstepTimeout` for
+    runs still unfinished when ``deadline_s`` (seconds from call start)
+    expires.
+    """
+    n = len(entries)
+    outcomes: list[TrainingResult | BaseException | None] = [None] * n
+    states = []
+    active: list[int] = []
+    for i, (trainer, iterations) in enumerate(entries):
+        try:
+            states.append(trainer._begin_run(iterations))
+            active.append(i)
+        except Exception as exc:
+            states.append(None)
+            outcomes[i] = exc
+    t0 = time.monotonic()
+    k = 0
+    while active:
+        if deadline_s is not None and time.monotonic() - t0 > deadline_s:
+            for i in active:
+                outcomes[i] = LockstepTimeout(
+                    f"lockstep bin exceeded {deadline_s:.0f}s budget "
+                    f"at iteration {k}"
+                )
+            break
+        stepping: list[int] = []
+        results: dict[int, object] = {}
+        misses: list[tuple[int, tuple]] = []
+        for i in active:
+            trainer, _ = entries[i]
+            st = states[i]
+            if k >= st.iters:
+                try:
+                    outcomes[i] = trainer._finish_run(st)
+                except Exception as exc:
+                    outcomes[i] = exc
+                continue
+            try:
+                trainer._pre_iteration(st, k)
+                key = trainer._cache_key()
+                res = trainer._cache_lookup(key)
+            except Exception as exc:
+                outcomes[i] = exc
+                continue
+            stepping.append(i)
+            if res is None:
+                misses.append((i, key))
+            else:
+                results[i] = res
+        if misses:
+            sims = None
+            try:
+                sims = simulate_many(
+                    [
+                        (entries[i][0].engine, entries[i][0].plan, entries[i][0].states)
+                        for i, _ in misses
+                    ]
+                )
+            except Exception:
+                pass  # isolate per run via the scalar engine below
+            for j, (i, key) in enumerate(misses):
+                trainer, _ = entries[i]
+                try:
+                    res = (
+                        sims[j]
+                        if sims is not None
+                        else trainer.engine.run_iteration(trainer.plan, trainer.states)
+                    )
+                    trainer._cache_store(key, res)
+                    results[i] = res
+                except Exception as exc:
+                    outcomes[i] = exc
+        still: list[int] = []
+        for i in stepping:
+            if outcomes[i] is not None:
+                continue
+            trainer, _ = entries[i]
+            try:
+                trainer._post_iteration(states[i], k, results[i])
+                still.append(i)
+            except Exception as exc:
+                outcomes[i] = exc
+        active = still
+        k += 1
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]

@@ -17,6 +17,7 @@ early exit) re-simulate only when something changed, which keeps a
 
 from __future__ import annotations
 
+import copy
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -27,7 +28,7 @@ from repro.cluster.collectives import CommCostModel
 from repro.cluster.job_manager import ElasticJobManager
 from repro.cluster.placement import Placement, make_placement
 from repro.core.controller import DynMoController
-from repro.dynamics.base import DynamismScheme
+from repro.dynamics.base import DynamismScheme, StaticScheme
 from repro.model.cost import LayerState, ModelCost
 from repro.pipeline.engine import IterationResult, PipelineEngine
 from repro.pipeline.plan import PipelinePlan
@@ -39,20 +40,43 @@ def states_fingerprint(states: list[LayerState], out: np.ndarray | None = None) 
 
     ``out`` is an optional preallocated ``(len(states), 6)`` float64
     scratch buffer, refilled in place; callers hashing every iteration
-    (the Trainer) reuse one buffer instead of re-allocating.
+    (the Trainer) reuse one buffer instead of re-allocating.  Columns
+    are filled struct-of-arrays style (one comprehension + vector
+    assign per field) instead of a per-layer Python loop; the buffer
+    layout and float64 values — bools coerce to exactly 0.0/1.0 — are
+    unchanged, so digests are byte-identical to the row-fill loop.
     """
     n = len(states)
     if out is None or out.shape != (n, 6):
         out = np.empty((n, 6))
-    for i, s in enumerate(states):
-        row = out[i]
-        row[0] = s.sparsity
-        row[1] = 1.0 if s.frozen else 0.0
-        row[2] = 1.0 if s.droppable_bwd else 0.0
-        row[3] = s.attn_density
-        row[4] = s.token_fraction
-        row[5] = s.moe_multiplier
+    out[:, 0] = [s.sparsity for s in states]
+    out[:, 1] = [s.frozen for s in states]
+    out[:, 2] = [s.droppable_bwd for s in states]
+    out[:, 3] = [s.attn_density for s in states]
+    out[:, 4] = [s.token_fraction for s in states]
+    out[:, 5] = [s.moe_multiplier for s in states]
     return hashlib.blake2b(out.tobytes(), digest_size=16).digest()
+
+
+@dataclass
+class _RunState:
+    """Mutable accounting for one in-flight training run.
+
+    Shared between :meth:`Trainer.run` and the lockstep driver so both
+    execute the identical per-iteration bookkeeping.
+    """
+
+    iters: int
+    advance: "callable | None" = None
+    scheme_overhead: float = 0.0
+    total_time: float = 0.0
+    overhead: float = 0.0
+    moved: int = 0
+    last_iter_time: float = 0.0
+    bubbles: list[tuple[int, float]] = field(default_factory=list)
+    makespans: list[tuple[int, float]] = field(default_factory=list)
+    stages: list[tuple[int, int]] = field(default_factory=list)
+    released_history: list[tuple[int, list[int]]] = field(default_factory=list)
 
 
 @dataclass
@@ -153,17 +177,27 @@ class Trainer:
             self._fp_version = version
         return self._fp
 
-    def _iteration_result(self) -> IterationResult:
+    def _cache_key(self) -> tuple:
         grid = self.placement.grid if self.placement is not None else None
-        key = (self.plan.boundaries, grid, self._states_key())
+        return (self.plan.boundaries, grid, self._states_key())
+
+    def _cache_lookup(self, key: tuple) -> IterationResult | None:
         res = self._cache.get(key)
-        if res is None:
-            if len(self._cache) >= self._cache_capacity:
-                self._cache.popitem(last=False)
-            res = self.engine.run_iteration(self.plan, self.states)
-            self._cache[key] = res
-        else:
+        if res is not None:
             self._cache.move_to_end(key)
+        return res
+
+    def _cache_store(self, key: tuple, res: IterationResult) -> None:
+        if len(self._cache) >= self._cache_capacity:
+            self._cache.popitem(last=False)
+        self._cache[key] = res
+
+    def _iteration_result(self) -> IterationResult:
+        key = self._cache_key()
+        res = self._cache_lookup(key)
+        if res is None:
+            res = self.engine.run_iteration(self.plan, self.states)
+            self._cache_store(key, res)
         return res
 
     def tokens_per_iteration(self) -> float:
@@ -174,82 +208,82 @@ class Trainer:
             * self.cfg.dp_ways
         )
 
-    # -- main loop ----------------------------------------------------------
-    def run(self, iterations: int | None = None) -> TrainingResult:
-        iters = iterations if iterations is not None else self.cfg.iterations
-        total_time = 0.0
-        overhead = 0.0
-        moved = 0
-        bubbles: list[tuple[int, float]] = []
-        makespans: list[tuple[int, float]] = []
-        stages: list[tuple[int, int]] = []
-        released_history: list[tuple[int, list[int]]] = []
-        last_iter_time = 0.0
+    # -- stepwise run protocol ----------------------------------------------
+    # run() is decomposed into begin / pre-iteration / post-iteration /
+    # finish hooks so a lockstep driver (repro.training.lockstep) can
+    # interleave many Trainers and simulate their cache misses in one
+    # vectorized batch per iteration.  run() itself is the single-run
+    # composition of the same hooks.
 
+    def _begin_run(self, iterations: int | None) -> _RunState:
+        st = _RunState(
+            iters=iterations if iterations is not None else self.cfg.iterations
+        )
         # baselines like Egeria carry their own per-iteration cost
         # (CPU reference-model maintenance that grows with depth)
-        scheme_overhead = 0.0
         if hasattr(self.scheme, "per_iteration_overhead_s"):
-            scheme_overhead = float(self.scheme.per_iteration_overhead_s())
-
+            st.scheme_overhead = float(self.scheme.per_iteration_overhead_s())
         # duck-typed baselines (Egeria/Tutel wrappers) only provide
         # step(); without a version counter the fingerprint memo just
         # recomputes every iteration, as before
-        advance = getattr(self.scheme, "advance", self.scheme.step)
+        st.advance = getattr(self.scheme, "advance", self.scheme.step)
+        return st
 
-        for k in range(iters):
-            advance(k, self.states)
-            total_time += scheme_overhead
+    def _pre_iteration(self, st: _RunState, k: int) -> None:
+        """Advance dynamism and (when due) the DynMo controller."""
+        st.advance(k, self.states)
+        st.total_time += st.scheme_overhead
 
-            if self.controller is not None and self.controller.should_invoke(
-                k, self.scheme.rebalance_every
-            ):
-                decision = self.controller.rebalance(
-                    k, self.plan, self.states, iter_time_hint=last_iter_time
-                )
-                if decision.repacked:
-                    if self.job_manager is not None:
-                        released = self.plan.num_stages - decision.plan.num_stages
-                        if released > 0:
-                            self.job_manager.release(
-                                self.job_name, released * self.cfg.dp_ways, iteration=k
-                            )
-                    if decision.placement is not None:
-                        self.placement = decision.placement
-                        self.engine.placement = decision.placement
-                        released_history.append((k, list(decision.released_ranks)))
-                self.plan = decision.plan
-                overhead += decision.overhead_s
-                total_time += decision.overhead_s
-                moved += decision.layers_moved
+        if self.controller is not None and self.controller.should_invoke(
+            k, self.scheme.rebalance_every
+        ):
+            decision = self.controller.rebalance(
+                k, self.plan, self.states, iter_time_hint=st.last_iter_time
+            )
+            if decision.repacked:
+                if self.job_manager is not None:
+                    released = self.plan.num_stages - decision.plan.num_stages
+                    if released > 0:
+                        self.job_manager.release(
+                            self.job_name, released * self.cfg.dp_ways, iteration=k
+                        )
+                if decision.placement is not None:
+                    self.placement = decision.placement
+                    self.engine.placement = decision.placement
+                    st.released_history.append((k, list(decision.released_ranks)))
+            self.plan = decision.plan
+            st.overhead += decision.overhead_s
+            st.total_time += decision.overhead_s
+            st.moved += decision.layers_moved
 
-            res = self._iteration_result()
-            last_iter_time = res.makespan
-            total_time += res.makespan
-            if self.trace_recorder is not None:
-                self.trace_recorder.record(
-                    k, self.plan, self.states, res.makespan, res.bubble_ratio()
-                )
-            if k % self.cfg.record_every == 0 or k == iters - 1:
-                bubbles.append((k, res.bubble_ratio()))
-                makespans.append((k, res.makespan))
-                stages.append((k, self.plan.num_stages))
+    def _post_iteration(self, st: _RunState, k: int, res: IterationResult) -> None:
+        st.last_iter_time = res.makespan
+        st.total_time += res.makespan
+        if self.trace_recorder is not None:
+            self.trace_recorder.record(
+                k, self.plan, self.states, res.makespan, res.bubble_ratio()
+            )
+        if k % self.cfg.record_every == 0 or k == st.iters - 1:
+            st.bubbles.append((k, res.bubble_ratio()))
+            st.makespans.append((k, res.makespan))
+            st.stages.append((k, self.plan.num_stages))
 
-        tokens = self.tokens_per_iteration() * iters
+    def _finish_run(self, st: _RunState) -> TrainingResult:
+        tokens = self.tokens_per_iteration() * st.iters
         avg_gpus = (
-            self.job_manager.average_gpus(self.job_name, iters)
+            self.job_manager.average_gpus(self.job_name, st.iters)
             if self.job_manager is not None
             else float(self.cfg.total_gpus)
         )
         return TrainingResult(
-            total_time_s=total_time,
+            total_time_s=st.total_time,
             total_tokens=tokens,
-            iterations=iters,
-            bubble_history=bubbles,
-            makespan_history=makespans,
-            stage_count_history=stages,
-            overhead_s=overhead,
-            layers_moved=moved,
+            iterations=st.iters,
+            bubble_history=st.bubbles,
+            makespan_history=st.makespans,
+            stage_count_history=st.stages,
+            overhead_s=st.overhead,
+            layers_moved=st.moved,
             final_plan=self.plan,
             average_gpus=avg_gpus,
             placement_strategy=(
@@ -260,5 +294,84 @@ class Trainer:
                 if self.placement is not None
                 else list(range(self.plan.num_stages))
             ),
-            released_ranks_history=released_history,
+            released_ranks_history=st.released_history,
         )
+
+    # -- batched fast path ---------------------------------------------------
+    def prewarm(self, iterations: int | None = None) -> int:
+        """Pre-simulate the distinct states the scheme will visit.
+
+        Dry-runs a deep copy of the dynamism scheme (no engine calls) to
+        collect the distinct ``(plan, fingerprint)`` keys of the next
+        ``iterations`` steps, then simulates all of them in one
+        vectorized batch and seeds the iteration cache — so the run
+        loop's engine work collapses into one batched call.  Only valid
+        for controller-less runs (a controller may change the plan based
+        on results).  Returns the number of scenarios batch-simulated;
+        schemes that cannot be deep-copied are skipped (returns 0).
+        """
+        if (
+            self.controller is not None
+            or not self.engine.use_compiled
+            or self.engine.record_timeline
+            # static control runs never leave their initial state; skip
+            # the dry scan instead of discovering one lone fingerprint
+            or isinstance(self.scheme, StaticScheme)
+        ):
+            return 0
+        iters = iterations if iterations is not None else self.cfg.iterations
+        try:
+            scheme = copy.deepcopy(self.scheme)
+            states = copy.deepcopy(self.states)
+        except Exception:
+            return 0
+        advance = getattr(scheme, "advance", scheme.step)
+        buf = np.empty((len(states), 6))
+        grid = self.placement.grid if self.placement is not None else None
+        seen: set[bytes] = set()
+        todo: list[tuple[tuple, list[LayerState]]] = []
+        fp: bytes | None = None
+        version: int | None = None
+        for k in range(iters):
+            advance(k, states)
+            v = getattr(scheme, "version", None)
+            if fp is None or v is None or v != version:
+                fp = states_fingerprint(states, out=buf)
+                version = v
+            if fp in seen:
+                continue
+            seen.add(fp)
+            key = (self.plan.boundaries, grid, fp)
+            if self._cache_lookup(key) is None:
+                todo.append((key, [s.copy() for s in states]))
+            if len(todo) >= self._cache_capacity:
+                break
+        if len(todo) < 2:  # nothing to amortise
+            return 0
+        results = self.engine.run_iterations_batched(
+            [(self.plan, sts) for _, sts in todo]
+        )
+        for (key, _), res in zip(todo, results):
+            self._cache_store(key, res)
+        return len(todo)
+
+    # -- main loop ----------------------------------------------------------
+    def run(
+        self, iterations: int | None = None, prewarm: bool | None = None
+    ) -> TrainingResult:
+        """Run the training loop.
+
+        ``prewarm=None`` (auto) batch-pre-simulates the scheme's distinct
+        states when no controller is attached — bit-identical results,
+        one vectorized engine call instead of one scalar call per
+        distinct state.
+        """
+        st = self._begin_run(iterations)
+        if prewarm is None:
+            prewarm = self.controller is None and st.iters > 1
+        if prewarm:
+            self.prewarm(st.iters)
+        for k in range(st.iters):
+            self._pre_iteration(st, k)
+            self._post_iteration(st, k, self._iteration_result())
+        return self._finish_run(st)

@@ -109,6 +109,39 @@ class TestSweepCommand:
         assert main(self._argv(tmp_path, "--no-cache")) == 0
         assert "0 from cache" in capsys.readouterr().out
 
+    def test_sweep_jobs0_batched_matches_serial(self, tmp_path, capsys):
+        """--jobs 0 runs the batched executor; exported rows must be
+        identical to the serial path modulo wall-time fields."""
+        import json
+
+        serial_json = tmp_path / "serial.json"
+        batched_json = tmp_path / "batched.json"
+        argv = [
+            "sweep", "--scenario", "pruning", "freezing",
+            "--mode", "megatron", "dynmo-partition",
+            "--iterations", "30", "--stages", "4",
+        ]
+        assert main([*argv, "--jobs", "1", "--cache-dir",
+                     str(tmp_path / "c1"), "--json", str(serial_json)]) == 0
+        capsys.readouterr()
+        assert main([*argv, "--jobs", "0", "--cache-dir",
+                     str(tmp_path / "c0"), "--json", str(batched_json)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=0" in out and "4 runs: 4 ok" in out
+        import pathlib
+        import sys
+        scripts_dir = str(pathlib.Path(__file__).resolve().parents[1] / "scripts")
+        sys.path.insert(0, scripts_dir)
+        try:
+            from compare_sweep_json import compare
+        finally:
+            sys.path.remove(scripts_dir)
+        with serial_json.open() as fh:
+            left = json.load(fh)
+        with batched_json.open() as fh:
+            right = json.load(fh)
+        assert compare(left, right) == []
+
     def test_sweep_exports_json_and_csv(self, tmp_path, capsys):
         json_path = tmp_path / "out" / "sweep.json"
         csv_path = tmp_path / "out" / "sweep.csv"

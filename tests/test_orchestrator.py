@@ -164,6 +164,95 @@ class TestSweepRunner:
         runner.close()
 
 
+class TestBatchedExecutor:
+    """jobs=0: binned lockstep execution in-process."""
+
+    def _grid(self):
+        return [
+            tiny(scenario=sc, mode=m, seed=s)
+            for sc in ("pruning", "freezing")
+            for m in ("megatron", "dynmo-partition")
+            for s in (0, 1)
+        ]
+
+    def test_batched_matches_serial_exactly(self):
+        specs = self._grid()
+        serial = SweepRunner(jobs=1).run(specs)
+        batched = SweepRunner(jobs=0).run(specs)
+        assert all(r.ok for r in serial + batched)
+        for a, b in zip(serial, batched):
+            assert a.metrics == b.metrics
+
+    def test_batched_isolates_failures(self):
+        specs = [tiny(), tiny(mode="dense-baseline"), tiny(seed=1)]
+        records = SweepRunner(jobs=0).run(specs)
+        assert [r.status for r in records] == ["ok", "error", "ok"]
+        assert records[1].error_type == "ValueError"
+
+    def test_batched_repack_specs_fall_back_and_match(self):
+        spec = tiny(
+            scenario="pruning",
+            mode="dynmo-diffusion",
+            pp_stages=8,
+            iterations=40,
+            cluster="2x8+2x4",
+            repack=True,
+            repack_target=4,
+            repack_force=True,
+        )
+        serial = SweepRunner(jobs=1).run([spec])[0]
+        batched = SweepRunner(jobs=0).run([spec])[0]
+        assert serial.ok and batched.ok
+        assert serial.metrics == batched.metrics
+        assert batched.metrics["final_num_stages"] == 4
+
+    def test_batched_timeout_records_status(self):
+        specs = [tiny(iterations=5000), tiny(iterations=5000, seed=1)]
+        records = SweepRunner(jobs=0, timeout_s=1e-9).run(specs)
+        assert [r.status for r in records] == ["timeout", "timeout"]
+        assert all(r.error_type == "SweepTimeout" for r in records)
+
+    def test_batched_serves_and_fills_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = self._grid()[:4]
+        first = SweepRunner(jobs=0, cache=cache).run(specs)
+        assert not any(r.cached for r in first)
+        assert len(cache) == len(specs)
+        rerun = SweepRunner(jobs=0, cache=cache).run(specs)
+        assert all(r.cached for r in rerun)
+
+    def test_batched_progress_sees_every_run(self):
+        seen = []
+        runner = SweepRunner(
+            jobs=0, progress=lambda done, total, rec: seen.append((done, total))
+        )
+        runner.run(self._grid()[:3])
+        assert sorted(seen) == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestPostHocTimeout:
+    """Budgets are enforced even where SIGALRM cannot be armed."""
+
+    def test_off_main_thread_budget_is_enforced_post_hoc(self):
+        import threading
+
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(execute_spec(tiny(), timeout_s=1e-9))
+        )
+        thread.start()
+        thread.join()
+        (record,) = results
+        assert record.status == "timeout"
+        assert "post-hoc" in (record.error or "")
+
+    def test_deadline_reports_armed_state(self):
+        with _deadline(5) as armed:
+            assert armed
+        with _deadline(None) as armed:
+            assert not armed
+
+
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -207,7 +207,9 @@ class TestIterationCache:
             "states_fingerprint",
             lambda states, out=None: calls.append(1) or real(states, out),
         )
-        t.run()  # StaticScheme: version never changes
+        # prewarm=False: the batched prewarm dry-run hashes once itself;
+        # this test pins the *run loop's* version-gated memoisation
+        t.run(prewarm=False)  # StaticScheme: version never changes
         assert len(calls) == 1
 
     def test_fingerprint_recomputed_on_version_bump(self, gpt24_cost, gpt24_specs):
@@ -233,3 +235,121 @@ class TestIterationCache:
         states[1].attn_density = 0.25
         buf = np.empty((5, 6))
         assert states_fingerprint(states, out=buf) == states_fingerprint(states)
+
+    def test_states_fingerprint_matches_row_loop(self):
+        """Regression: the struct-of-arrays column fills must produce
+        byte-identical digests to the original per-layer row loop."""
+        import hashlib
+
+        def loop_fingerprint(states):
+            out = np.empty((len(states), 6))
+            for i, s in enumerate(states):
+                row = out[i]
+                row[0] = s.sparsity
+                row[1] = 1.0 if s.frozen else 0.0
+                row[2] = 1.0 if s.droppable_bwd else 0.0
+                row[3] = s.attn_density
+                row[4] = s.token_fraction
+                row[5] = s.moe_multiplier
+            return hashlib.blake2b(out.tobytes(), digest_size=16).digest()
+
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            states = fresh_states(int(rng.integers(1, 40)))
+            for s in states:
+                s.sparsity = float(rng.uniform(0, 1))
+                s.frozen = bool(rng.random() < 0.5)
+                s.droppable_bwd = bool(rng.random() < 0.5)
+                s.attn_density = float(rng.uniform(0, 1))
+                s.token_fraction = float(rng.uniform(0, 1))
+                s.moe_multiplier = float(rng.uniform(0, 3))
+            assert states_fingerprint(states) == loop_fingerprint(states)
+
+
+class TestPrewarmAndLockstep:
+    """The batched Trainer fast path and the lockstep driver."""
+
+    def _trainer(self, cost, specs, scheme=None, iters=30, **kw):
+        cfg = TrainingConfig(
+            iterations=iters, pp_stages=4, dp_ways=1, record_every=5, **kw
+        )
+        return Trainer(cfg, cost, scheme or StaticScheme(specs))
+
+    def test_prewarm_seeds_cache_and_matches(self, gpt24_cost, gpt24_specs):
+        scheme = FreezingDynamism(gpt24_specs, freeze_every=5, tau0=5, seed=0)
+        warm = self._trainer(gpt24_cost, gpt24_specs, scheme=scheme)
+        n = warm.prewarm(30)
+        assert n >= 2  # freezing visits several distinct states
+        assert len(warm._cache) == n
+        res_warm = warm.run(prewarm=False)  # served from the seeded cache
+
+        cold_scheme = FreezingDynamism(gpt24_specs, freeze_every=5, tau0=5, seed=0)
+        cold = self._trainer(gpt24_cost, gpt24_specs, scheme=cold_scheme)
+        res_cold = cold.run(prewarm=False)
+        assert res_warm.total_time_s == res_cold.total_time_s
+        assert res_warm.makespan_history == res_cold.makespan_history
+
+    def test_prewarm_noop_for_static_scheme(self, gpt24_cost, gpt24_specs):
+        t = self._trainer(gpt24_cost, gpt24_specs)
+        assert t.prewarm(30) == 0  # one distinct state: nothing to batch
+
+    def test_prewarm_refused_with_controller(self, gpt24_cost, gpt24_specs, comm):
+        controller = DynMoController(gpt24_cost, comm, DynMoConfig(balancer="partition"))
+        cfg = TrainingConfig(iterations=10, pp_stages=4, dp_ways=1)
+        scheme = FreezingDynamism(gpt24_specs, freeze_every=2, tau0=2, seed=0)
+        t = Trainer(cfg, gpt24_cost, scheme, comm=comm, controller=controller)
+        assert t.prewarm(10) == 0
+
+    def test_run_prewarm_auto_is_bit_identical(self, gpt24_cost, gpt24_specs):
+        mk = lambda: FreezingDynamism(gpt24_specs, freeze_every=4, tau0=4, seed=3)  # noqa: E731
+        auto = self._trainer(gpt24_cost, gpt24_specs, scheme=mk()).run()
+        off = self._trainer(gpt24_cost, gpt24_specs, scheme=mk()).run(prewarm=False)
+        assert auto.total_time_s == off.total_time_s
+        assert auto.bubble_history == off.bubble_history
+
+    def test_lockstep_matches_solo_runs(self, gpt24_cost, gpt24_specs):
+        from repro.training import run_trainers_lockstep
+
+        mk = lambda seed: FreezingDynamism(  # noqa: E731
+            gpt24_specs, freeze_every=4, tau0=4, seed=seed
+        )
+        trainers = [
+            self._trainer(gpt24_cost, gpt24_specs, scheme=mk(seed))
+            for seed in range(3)
+        ]
+        outcomes = run_trainers_lockstep([(t, None) for t in trainers])
+        for seed, outcome in enumerate(outcomes):
+            solo = self._trainer(gpt24_cost, gpt24_specs, scheme=mk(seed)).run()
+            assert outcome.total_time_s == solo.total_time_s
+            assert outcome.makespan_history == solo.makespan_history
+
+    def test_lockstep_isolates_failures(self, gpt24_cost, gpt24_specs):
+        from repro.training import run_trainers_lockstep
+
+        class Exploding(StaticScheme):
+            def step(self, k, states):
+                if k == 5:
+                    raise RuntimeError("boom")
+                return False
+
+        bad = self._trainer(gpt24_cost, gpt24_specs, scheme=Exploding(gpt24_specs))
+        good = self._trainer(gpt24_cost, gpt24_specs)
+        outcomes = run_trainers_lockstep([(bad, None), (good, None)])
+        assert isinstance(outcomes[0], RuntimeError)
+        assert outcomes[1].iterations == 30
+
+    def test_lockstep_deadline_times_out_runs(self, gpt24_cost, gpt24_specs):
+        from repro.training import LockstepTimeout, run_trainers_lockstep
+
+        t = self._trainer(gpt24_cost, gpt24_specs, iters=10_000)
+        (outcome,) = run_trainers_lockstep([(t, None)], deadline_s=0.0)
+        assert isinstance(outcome, LockstepTimeout)
+
+    def test_lockstep_mixed_iteration_counts(self, gpt24_cost, gpt24_specs):
+        from repro.training import run_trainers_lockstep
+
+        a = self._trainer(gpt24_cost, gpt24_specs, iters=7)
+        b = self._trainer(gpt24_cost, gpt24_specs, iters=23)
+        out_a, out_b = run_trainers_lockstep([(a, None), (b, None)])
+        assert out_a.iterations == 7
+        assert out_b.iterations == 23
