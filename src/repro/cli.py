@@ -178,6 +178,24 @@ def cmd_overhead(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    events_json = ""
+    if args.events:
+        from repro.cluster.events import ClusterEventTrace
+
+        # canonical JSON of the trace *content* rides in every spec (and
+        # so in its hash): cached results stay sound if the file changes
+        try:
+            trace = ClusterEventTrace.load(args.events)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--events {args.events}: {exc}") from None
+        if trace:
+            events_json = trace.to_json()
+            counts = ", ".join(f"{v} {k}" for k, v in trace.summary().items() if v)
+            print(f"cluster events: {len(trace)} from {args.events} ({counts})")
+        else:
+            # an empty trace is a no-op: keep the specs event-free so
+            # they batch normally and share cache entries with plain runs
+            print(f"cluster events: {args.events} is empty; running without events")
     specs = [
         RunSpec(
             scenario=scenario,
@@ -195,6 +213,7 @@ def cmd_sweep(args) -> int:
             repack=args.repack,
             repack_target=args.repack_target,
             repack_force=args.repack_force,
+            cluster_events=events_json,
         )
         for scenario in args.scenario
         for mode in args.mode
@@ -225,6 +244,8 @@ def cmd_sweep(args) -> int:
         columns.insert(4, "placement")
     if args.repack:
         columns.append("surviving_ranks")
+    if args.events:
+        columns += ["events_applied", "final_num_stages"]
     print(ascii_table(rows, columns=columns, title="Sweep results"))
     n_ok = sum(r.ok for r in records)
     n_cached = sum(r.cached for r in records)
@@ -237,6 +258,76 @@ def cmd_sweep(args) -> int:
     if args.csv:
         print(f"wrote {write_csv(records, args.csv)}")
     return 0 if n_ok == len(records) else 1
+
+
+def cmd_events(args) -> int:
+    """Generate a deterministic cluster-event trace file."""
+    from repro.cluster.events import ClusterEvent, ClusterEventTrace
+
+    if args.fail_at is None and args.recover_at is not None:
+        raise SystemExit("--recover-at needs --fail-at")
+    hand_written = (
+        args.fail_at is not None
+        or args.straggle_at is not None
+        or bool(args.straggle_ranks)
+    )
+    if hand_written:
+        events = []
+        if args.fail_at is not None:
+            events.append(
+                ClusterEvent(args.fail_at, "failure", tuple(args.fail_ranks))
+            )
+            # no --recover-at = a permanent loss (fully supported)
+            if args.recover_at is not None:
+                if args.recover_at <= args.fail_at:
+                    raise SystemExit("--recover-at must come after --fail-at")
+                events.append(
+                    ClusterEvent(
+                        args.recover_at, "recovery", tuple(args.fail_ranks)
+                    )
+                )
+        if args.straggle_at is not None and not args.straggle_ranks:
+            raise SystemExit("--straggle-at needs --straggle-ranks")
+        if args.straggle_ranks:
+            at = args.straggle_at
+            if at is None:
+                if args.recover_at is None:
+                    raise SystemExit("--straggle-ranks needs --straggle-at")
+                at = args.recover_at + 1  # straggle right after the recovery
+            events.append(
+                ClusterEvent(
+                    at,
+                    "straggler",
+                    tuple(args.straggle_ranks),
+                    duration=args.straggler_duration,
+                    slowdown=args.straggler_slowdown,
+                )
+            )
+        trace = ClusterEventTrace(tuple(events))
+    else:
+        trace = ClusterEventTrace.generate(
+            iterations=args.iterations,
+            num_ranks=args.ranks,
+            seed=args.seed,
+            failure_rate=args.failure_rate,
+            straggler_rate=args.straggler_rate,
+            preemption_rate=args.preemption_rate,
+            recover_after=args.recover_after,
+            straggler_duration=args.straggler_duration,
+            straggler_slowdown=args.straggler_slowdown,
+        )
+    counts = ", ".join(f"{v} {k}" for k, v in trace.summary().items() if v)
+    print(f"{len(trace)} events ({counts or 'none'})")
+    for e in trace.events:
+        extra = (
+            f" x{e.slowdown:g} for {e.duration} iters"
+            if e.kind == "straggler"
+            else ""
+        )
+        print(f"  iter {e.iteration:>5}  {e.kind:<10} ranks {list(e.ranks)}{extra}")
+    if args.out:
+        print(f"wrote {trace.save(args.out)}")
+    return 0
 
 
 def cmd_gantt(args) -> int:
@@ -338,6 +429,12 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--repack-force", action="store_true",
                     help="force packing to --repack-target regardless of load")
     ps.add_argument(
+        "--events", default=None, metavar="TRACE.json",
+        help="apply a cluster-event trace (failures/stragglers/"
+             "recoveries, see `repro events`) to every run; the trace "
+             "content is hashed into each spec so caching stays sound",
+    )
+    ps.add_argument(
         "--paper-scale", action="store_true",
         help="run the paper's full 16/24-stage, 10k-iteration grids (slow)",
     )
@@ -348,6 +445,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute every run, refreshing any cached entries",
     )
     ps.set_defaults(fn=cmd_sweep, jobs=None, cache_dir=DEFAULT_CACHE_DIR)
+
+    pe = sub.add_parser(
+        "events",
+        help="generate a deterministic cluster-event trace "
+             "(failures, stragglers, preemptions, recoveries)",
+    )
+    pe.add_argument("--out", default=None, metavar="TRACE.json",
+                    help="write the trace to this file (else print only)")
+    pe.add_argument("--seed", type=int, default=0)
+    pe.add_argument("--iterations", type=int, default=150)
+    pe.add_argument("--ranks", type=int, default=8,
+                    help="cluster size the random trace draws ranks from")
+    pe.add_argument("--failure-rate", type=float, default=0.0,
+                    help="per-iteration probability of one rank failing")
+    pe.add_argument("--straggler-rate", type=float, default=0.0,
+                    help="per-iteration probability of a straggler window opening")
+    pe.add_argument("--preemption-rate", type=float, default=0.0,
+                    help="per-iteration probability of one rank being preempted")
+    pe.add_argument("--recover-after", type=int, default=0, metavar="ITERS",
+                    help="schedule a recovery this many iterations after "
+                         "each failure/preemption (0 = never recover)")
+    pe.add_argument("--straggler-duration", type=int, default=20, metavar="ITERS")
+    pe.add_argument("--straggler-slowdown", type=float, default=2.0,
+                    help="op-time factor on straggling ranks (>= 1.0)")
+    # hand-written single-scenario mode (exact iterations and ranks)
+    pe.add_argument("--fail-at", type=int, default=None, metavar="ITER",
+                    help="hand-written trace: fail --fail-ranks here "
+                         "(bypasses the random generator; omit "
+                         "--recover-at for a permanent loss)")
+    pe.add_argument("--recover-at", type=int, default=None, metavar="ITER")
+    pe.add_argument("--fail-ranks", type=int, nargs="+", default=[0])
+    pe.add_argument("--straggle-ranks", type=int, nargs="+", default=[])
+    pe.add_argument("--straggle-at", type=int, default=None, metavar="ITER")
+    pe.set_defaults(fn=cmd_events)
 
     pg = sub.add_parser("gantt", help="render one iteration as ASCII Gantt")
     _add_common(pg)

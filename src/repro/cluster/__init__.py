@@ -10,7 +10,9 @@ Replaces the paper's 720×H100 testbed with analytic models:
   Fig. 4 and re-packing feasibility);
 - :mod:`simcomm` — an in-process MPI-like rank simulator used to run
   Algorithm 1 (distributed global pruning) with real dataflow;
-- :mod:`job_manager` — ECK-style elastic GPU request/release ledger.
+- :mod:`job_manager` — ECK-style elastic GPU request/release ledger;
+- :mod:`events` — trace-driven cluster dynamism (failures, stragglers,
+  preemptions, recoveries) with a JSON format and seedable generators.
 """
 
 from repro.cluster.topology import (
@@ -24,6 +26,7 @@ from repro.cluster.topology import (
     parse_cluster,
 )
 from repro.cluster.collectives import CommCostModel
+from repro.cluster.events import EVENT_KINDS, ClusterEvent, ClusterEventTrace
 from repro.cluster.memory import MemoryTracker, OutOfMemoryError
 from repro.cluster.placement import PLACEMENT_STRATEGIES, Placement, make_placement
 from repro.cluster.simcomm import SimComm, SimWorld
@@ -39,6 +42,9 @@ __all__ = [
     "hetero_cluster",
     "parse_cluster",
     "CommCostModel",
+    "EVENT_KINDS",
+    "ClusterEvent",
+    "ClusterEventTrace",
     "MemoryTracker",
     "OutOfMemoryError",
     "PLACEMENT_STRATEGIES",

@@ -29,6 +29,7 @@ Strategies
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -115,12 +116,61 @@ class Placement:
         """
         if not surviving_stages:
             raise ValueError("at least one stage must survive a re-pack")
-        if sorted(surviving_stages) != list(surviving_stages):
-            raise ValueError("surviving stages must be ascending old indices")
+        for s in surviving_stages:
+            if not 0 <= s < self.num_stages:
+                raise ValueError(
+                    f"surviving stage {s} out of range for a "
+                    f"{self.num_stages}-stage placement"
+                )
+        # strictly ascending: `sorted(x) == x` would accept duplicates
+        # like [1, 1, 2] and silently assign one rank group twice
+        if any(a >= b for a, b in zip(surviving_stages, surviving_stages[1:])):
+            raise ValueError(
+                f"surviving stages must be strictly ascending old indices, "
+                f"got {list(surviving_stages)}"
+            )
         return Placement(
             topology=self.topology,
             grid=tuple(self.grid[s] for s in surviving_stages),
             strategy=self.strategy,
+        )
+
+    def after_regrow(
+        self, insertions: "Sequence[tuple[int, Sequence[int]]]"
+    ) -> "Placement":
+        """Re-admit released rank groups — the inverse of :meth:`after_repack`.
+
+        ``insertions`` are ``(stage, ranks)`` pairs with *new* stage
+        indices in strictly ascending order; each rank group becomes
+        stage ``stage`` of the regrown placement, existing stages
+        shifting up around them.  ``p.after_repack(surv).after_regrow(
+        [(s, p.dp_group(s)) for s not in surv])`` round-trips to ``p``.
+        """
+        if not insertions:
+            raise ValueError("regrow needs at least one (stage, ranks) group")
+        pairs = [(int(s), tuple(int(r) for r in group)) for s, group in insertions]
+        if any(a >= b for (a, _), (b, _) in zip(pairs, pairs[1:])):
+            raise ValueError(
+                f"regrow stages must be strictly ascending new indices, "
+                f"got {[s for s, _ in pairs]}"
+            )
+        width = self.dp_ways
+        rows = [tuple(row) for row in self.grid]
+        for stage, group in pairs:
+            if len(group) != width:
+                raise ValueError(
+                    f"regrown stage {stage} has {len(group)} replicas, "
+                    f"placement has {width}"
+                )
+            if not 0 <= stage <= len(rows):
+                raise ValueError(
+                    f"regrow stage {stage} out of range for the resulting "
+                    f"{len(rows) + 1}-stage placement"
+                )
+            rows.insert(stage, group)
+        # duplicate- and range-checks ride on the constructor
+        return Placement(
+            topology=self.topology, grid=tuple(rows), strategy=self.strategy
         )
 
     def released_ranks(self, surviving_stages: list[int]) -> tuple[int, ...]:

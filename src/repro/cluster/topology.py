@@ -194,11 +194,17 @@ def parse_cluster(spec: str) -> ClusterTopology:
     specs: list[GPUSpec] = []
     for group in spec.split("+"):
         group = group.strip()
+        if not group:
+            raise ValueError(
+                f"empty group in cluster spec {spec!r}; "
+                f"expected NxG[:model] between '+' separators"
+            )
         body, _, model = group.partition(":")
         model = model.strip().lower() or "h100"
         if model not in GPU_MODELS:
             raise ValueError(
-                f"unknown GPU model {model!r}; choose from {sorted(GPU_MODELS)}"
+                f"unknown GPU model {model!r} in cluster group {group!r}; "
+                f"choose from {sorted(GPU_MODELS)}"
             )
         count, sep, gpus = body.partition("x")
         if not sep:
@@ -207,8 +213,14 @@ def parse_cluster(spec: str) -> ClusterTopology:
             n, g = int(count), int(gpus)
         except ValueError as exc:
             raise ValueError(f"bad cluster group {group!r}; expected NxG[:model]") from exc
-        check_positive("nodes", n)
-        check_positive("gpus", g)
+        if n <= 0:
+            raise ValueError(
+                f"bad cluster group {group!r}: node count must be > 0, got {n}"
+            )
+        if g <= 0:
+            raise ValueError(
+                f"bad cluster group {group!r}: GPUs per node must be > 0, got {g}"
+            )
         sizes.extend([g] * n)
         specs.extend([GPU_MODELS[model]] * n)
     return hetero_cluster(sizes, specs)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.baselines.egeria import EgeriaBaseline
 from repro.baselines.tutel import TutelMoEBaseline
 from repro.cluster.collectives import CommCostModel
+from repro.cluster.events import ClusterEventTrace
 from repro.cluster.job_manager import ElasticJobManager
 from repro.cluster.topology import ClusterTopology, h100_cluster, parse_cluster
 from repro.core.controller import DynMoConfig, DynMoController
@@ -209,6 +210,7 @@ def make_trainer(
     job_manager: ElasticJobManager | None = None,
     balance_cost: str = "measured",
     placement: str | None = "packed",
+    cluster_events: ClusterEventTrace | None = None,
 ) -> Trainer:
     """Build the Trainer for one configuration without running it.
 
@@ -273,6 +275,7 @@ def make_trainer(
         controller=controller,
         initial_plan=initial_plan,
         job_manager=job_manager,
+        cluster_events=cluster_events,
     )
 
 
@@ -290,6 +293,7 @@ def run_training(
     job_manager: ElasticJobManager | None = None,
     balance_cost: str = "measured",
     placement: str | None = "packed",
+    cluster_events: ClusterEventTrace | None = None,
 ) -> TrainingResult:
     """Build and run one configuration (see :func:`make_trainer`)."""
     return make_trainer(
@@ -306,4 +310,5 @@ def run_training(
         job_manager=job_manager,
         balance_cost=balance_cost,
         placement=placement,
+        cluster_events=cluster_events,
     ).run()

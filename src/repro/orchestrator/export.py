@@ -51,6 +51,8 @@ def record_row(record: RunRecord) -> dict:
     # surviving GPU ranks as a compact string so CSV rows stay scalar
     if "final_stage_ranks" in record.metrics:
         row["surviving_ranks"] = _format_ranks(record.metrics["final_stage_ranks"])
+    if record.metrics.get("cluster_events_applied"):
+        row["events_applied"] = len(record.metrics["cluster_events_applied"])
     if record.error_type:
         row["error_type"] = record.error_type
     return row

@@ -93,6 +93,10 @@ def result_metrics(res) -> dict:
             [int(k), [int(r) for r in ranks]]
             for k, ranks in res.released_ranks_history
         ],
+        "cluster_events_applied": [
+            [int(k), str(kind), [int(r) for r in ranks]]
+            for k, kind, ranks in res.cluster_events_applied
+        ],
         "bubble_history": [[int(k), float(b)] for k, b in res.bubble_history],
         "makespan_history": [[int(k), float(m)] for k, m in res.makespan_history],
         "stage_count_history": [[int(k), int(s)] for k, s in res.stage_count_history],

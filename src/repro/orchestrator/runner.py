@@ -88,12 +88,18 @@ def _spec_scenario_and_trainer(spec: RunSpec):
     """Build the scenario and (unrun) Trainer a spec describes."""
     # deferred: repro.experiments imports repro.orchestrator for the
     # figure drivers, so importing it at module level would be circular
+    from repro.cluster.events import ClusterEventTrace
     from repro.cluster.job_manager import ElasticJobManager
     from repro.dynamics.base import StaticScheme
     from repro.experiments.common import build_scenario, make_trainer
 
     if spec.mode not in MODES:
         raise ValueError(f"unknown mode {spec.mode!r}; choose from {MODES}")
+    events = (
+        ClusterEventTrace.from_json(spec.cluster_events)
+        if spec.cluster_events
+        else None
+    )
     setup = build_scenario(
         spec.scenario,
         num_layers=spec.num_layers,
@@ -122,6 +128,7 @@ def _spec_scenario_and_trainer(spec: RunSpec):
         job_manager=job_manager,
         balance_cost=spec.balance_cost,
         placement=spec.placement,
+        cluster_events=events,
     )
     return setup, trainer
 
@@ -370,8 +377,9 @@ class SweepRunner:
         """Evaluate specs binned by compiled key, whole bins in lockstep.
 
         Specs whose pipeline shape can diverge mid-run (re-packing,
-        elasticity) are executed on the per-spec path instead — their
-        stage count, and so their compiled key, is result-dependent.
+        elasticity, cluster-event traces) are executed on the per-spec
+        path instead — their stage count, and so their compiled key, is
+        result- or trace-dependent.
         Timeouts are wall-clock checks between iterations (inside
         lockstep) and around the per-spec fallback, recorded as
         ``status="timeout"`` like the signal-based path.
@@ -380,7 +388,11 @@ class SweepRunner:
 
         bins: dict[tuple, list[tuple[int, RunSpec, object, object]]] = {}
         for i, spec in pending:
-            if spec.repack or spec.elastic_total_gpus is not None:
+            if (
+                spec.repack
+                or spec.elastic_total_gpus is not None
+                or spec.cluster_events
+            ):
                 # execute_spec arms SIGALRM when possible and otherwise
                 # enforces the budget post-hoc, so the fallback path
                 # reports timeouts exactly like the pooled path

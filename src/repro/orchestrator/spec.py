@@ -22,7 +22,7 @@ from dataclasses import asdict, dataclass, fields, replace
 
 import repro
 
-SPEC_SCHEMA_VERSION = 2
+SPEC_SCHEMA_VERSION = 3
 
 #: Every contender `run_training` understands.
 MODES = (
@@ -63,6 +63,12 @@ class RunSpec:
     cluster: str = ""
     # run the static (no-dynamism) control on the scenario's architecture
     static_scheme: bool = False
+    # canonical JSON of a ClusterEventTrace (failures/stragglers/
+    # recoveries applied mid-run); "" runs on a static cluster.  The
+    # trace *content* is part of the spec — and so of the content hash —
+    # rather than a file path, so cached results stay sound when trace
+    # files change on disk
+    cluster_events: str = ""
     # when set, attach an ElasticJobManager with this many total GPUs
     elastic_total_gpus: int | None = None
     paper_scale: bool = False
@@ -106,6 +112,11 @@ class RunSpec:
             bits.append(self.placement)
         if self.cluster:
             bits.append(self.cluster)
+        if self.cluster_events:
+            digest = hashlib.blake2b(
+                self.cluster_events.encode(), digest_size=4
+            ).hexdigest()
+            bits.append(f"events-{digest}")
         if self.tag:
             bits.append(self.tag)
         return "/".join(bits)

@@ -403,14 +403,18 @@ def simulate_many(
     Scenarios are binned by compiled key ``(schedule, S, M)``; each bin
     replays the op tables once with the scenario axis vectorized.
     Scenarios that cannot take the batched path — timeline recording,
-    ``use_compiled=False``, a bin of one, or a schedule the batched ZB
+    ``use_compiled=False``, an engine with active rank slowdowns
+    (straggler windows), a bin of one, or a schedule the batched ZB
     filler cannot prove order for — fall back to the scalar engine,
     which is bit-identical anyway.  Results come back in request order.
     """
     results: list["IterationResult" | None] = [None] * len(requests)
     groups: dict[tuple[str, int, int], list[int]] = {}
     for i, (eng, plan, states) in enumerate(requests):
-        if eng.record_timeline or not eng.use_compiled:
+        # active straggler windows (cluster-event runs) take the scalar
+        # path: their slowdown maps mutate between iterations, so lanes
+        # must not be batched across an engine's event boundary
+        if eng.record_timeline or not eng.use_compiled or eng.rank_slowdowns:
             results[i] = eng.run_iteration(plan, states)
             continue
         key = (eng.schedule.name, plan.num_stages, eng.num_micro)

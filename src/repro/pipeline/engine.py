@@ -84,6 +84,7 @@ class PipelineEngine:
         placement: Placement | None = None,
         worker_speeds: np.ndarray | None = None,
         use_compiled: bool = True,
+        rank_slowdowns: dict[int, float] | None = None,
     ) -> None:
         self.cost = cost
         self.comm = comm
@@ -109,6 +110,11 @@ class PipelineEngine:
             if (worker_speeds <= 0).any():
                 raise ValueError("worker speeds must be positive")
         self.worker_speeds = worker_speeds
+        # transient per-rank slowdown factors (straggler windows from a
+        # cluster-event trace); empty means no rank is degraded
+        self.rank_slowdowns: dict[int, float] = {}
+        if rank_slowdowns:
+            self.set_rank_slowdowns(rank_slowdowns)
 
     # -- per-stage aggregate times ------------------------------------------
     def stage_times(
@@ -140,22 +146,55 @@ class PipelineEngine:
             fwd, bwd, wgt = fwd / speeds, bwd / speeds, wgt / speeds
         return fwd, bwd, wgt, act_bytes
 
+    def set_rank_slowdowns(self, slowdowns: dict[int, float] | None) -> None:
+        """Install straggler slowdown factors keyed by global rank.
+
+        A factor of ``f`` makes every op on that rank — compute and its
+        P2P hand-offs — take ``f``× as long; factors of exactly 1.0 are
+        dropped so an all-healthy map prices identically to no map.
+        """
+        clean: dict[int, float] = {}
+        for rank, factor in (slowdowns or {}).items():
+            if factor <= 0:
+                raise ValueError(
+                    f"slowdown factor for rank {rank} must be > 0, got {factor}"
+                )
+            if factor != 1.0:
+                clean[int(rank)] = float(factor)
+        self.rank_slowdowns = clean
+
+    def _stage_slowdown(self, stage: int) -> float:
+        """Worst straggler factor across the ranks holding one stage
+        (a DP group is synchronous, so the stage moves at its slowest
+        replica; without a placement, rank == stage)."""
+        if not self.rank_slowdowns:
+            return 1.0
+        group = (
+            self.placement.dp_group(stage) if self.placement is not None else (stage,)
+        )
+        return max(self.rank_slowdowns.get(r, 1.0) for r in group)
+
     def _effective_speeds(self, num_stages: int) -> np.ndarray | None:
-        """Explicit override first, else speeds of the placed devices."""
+        """Explicit override first, else speeds of the placed devices,
+        both degraded by any active straggler windows."""
+        speeds: np.ndarray | None = None
         if self.worker_speeds is not None:
             if self.worker_speeds.shape[0] < num_stages:
                 raise ValueError(
                     f"{self.worker_speeds.shape[0]} worker speeds for "
                     f"{num_stages} stages"
                 )
-            return self.worker_speeds[:num_stages]
-        if self.placement is not None:
-            speeds = self.placement.worker_speeds()
+            speeds = self.worker_speeds[:num_stages]
+        elif self.placement is not None:
+            placed = self.placement.worker_speeds()
             # non-reference devices (uniform A100 cluster, mixed nodes,
             # ...) slow their stages down; all-reference is a no-op
-            if not np.allclose(speeds, 1.0):
-                return speeds
-        return None
+            if not np.allclose(placed, 1.0):
+                speeds = placed
+        if self.rank_slowdowns:
+            slow = np.array([self._stage_slowdown(s) for s in range(num_stages)])
+            speeds = (speeds if speeds is not None else np.ones(num_stages)) / slow
+        return speeds
 
     def _edge_time(self, src_stage: int, dst_stage: int, nbytes: float) -> float:
         """Activation/grad hand-off cost between adjacent stages.
@@ -164,16 +203,23 @@ class PipelineEngine:
         worst-placed replica pays for it."""
         if self.comm is None:
             return 0.0
+        sl = self.rank_slowdowns
         if self.placement is None:
-            return self.comm.p2p_time(src_stage, dst_stage, nbytes)
-        return max(
-            self.comm.p2p_time(
-                self.placement.rank_of(src_stage, d),
-                self.placement.rank_of(dst_stage, d),
-                nbytes,
-            )
-            for d in range(self.placement.dp_ways)
-        )
+            t = self.comm.p2p_time(src_stage, dst_stage, nbytes)
+            if sl:
+                # a straggling endpoint drains its NIC at the same
+                # degraded pace as its compute
+                t *= max(sl.get(src_stage, 1.0), sl.get(dst_stage, 1.0))
+            return t
+        best = 0.0
+        for d in range(self.placement.dp_ways):
+            src = self.placement.rank_of(src_stage, d)
+            dst = self.placement.rank_of(dst_stage, d)
+            t = self.comm.p2p_time(src, dst, nbytes)
+            if sl:
+                t *= max(sl.get(src, 1.0), sl.get(dst, 1.0))
+            best = max(best, t)
+        return best
 
     def _dp_group(self, stage: int) -> list[int]:
         if self.placement is not None:

@@ -53,9 +53,13 @@ class MigrationPlan:
         backward communication, last to first layer).
 
         ``src_placement`` resolves source stages to GPU ranks and
-        ``dst_placement`` destination stages (they differ across a
-        re-pack, where the destination plan has fewer stages); with no
-        placement the identity mapping ``rank == stage`` is priced.
+        ``dst_placement`` destination stages.  The two differ whenever
+        the move crosses a cluster change: a *shrink* (re-pack or
+        failure — the destination has fewer stages) and a *regrow*
+        (recovered ranks re-admitted — the destination has more) are
+        both priced between the ranks that actually hold the stages on
+        each side.  With no placement the identity mapping
+        ``rank == stage`` is priced.
         """
         if comm is None or not self.transfers:
             return 0.0
@@ -70,6 +74,19 @@ class MigrationPlan:
             for t in self.transfers:
                 exposed += comm.p2p_time(t.src_stage, t.dst_stage, t.nbytes)
             return exposed * (1.0 - overlap)
+        for t in self.transfers:
+            if not 0 <= t.src_stage < src_placement.num_stages:
+                raise ValueError(
+                    f"transfer of layer {t.layer} leaves stage {t.src_stage}, "
+                    f"but the source placement has "
+                    f"{src_placement.num_stages} stages"
+                )
+            if not 0 <= t.dst_stage < dst_placement.num_stages:
+                raise ValueError(
+                    f"transfer of layer {t.layer} targets stage {t.dst_stage}, "
+                    f"but the destination placement has "
+                    f"{dst_placement.num_stages} stages"
+                )
         # every DP replica ships its own copy of the layer in lockstep,
         # so the exposed cost is the worst replica's link
         replicas = min(src_placement.dp_ways, dst_placement.dp_ways)

@@ -56,10 +56,22 @@ def run_trainers_lockstep(
     while active:
         if deadline_s is not None and time.monotonic() - t0 > deadline_s:
             for i in active:
-                outcomes[i] = LockstepTimeout(
-                    f"lockstep bin exceeded {deadline_s:.0f}s budget "
-                    f"at iteration {k}"
-                )
+                trainer, _ = entries[i]
+                st = states[i]
+                if k >= st.iters:
+                    # this run completed every iteration before the
+                    # deadline expired and is only awaiting bookkeeping;
+                    # finishing it is O(1) and its outcome must never be
+                    # overwritten by the bin's timeout
+                    try:
+                        outcomes[i] = trainer._finish_run(st)
+                    except Exception as exc:
+                        outcomes[i] = exc
+                else:
+                    outcomes[i] = LockstepTimeout(
+                        f"lockstep bin exceeded {deadline_s:.0f}s budget "
+                        f"at iteration {k}"
+                    )
             break
         stepping: list[int] = []
         results: dict[int, object] = {}

@@ -25,12 +25,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.collectives import CommCostModel
+from repro.cluster.events import ClusterEventTrace
 from repro.cluster.job_manager import ElasticJobManager
 from repro.cluster.placement import Placement, make_placement
 from repro.core.controller import DynMoController
 from repro.dynamics.base import DynamismScheme, StaticScheme
 from repro.model.cost import LayerState, ModelCost
 from repro.pipeline.engine import IterationResult, PipelineEngine
+from repro.pipeline.migration import diff_plans
 from repro.pipeline.plan import PipelinePlan
 from repro.training.config import TrainingConfig
 
@@ -77,6 +79,23 @@ class _RunState:
     makespans: list[tuple[int, float]] = field(default_factory=list)
     stages: list[tuple[int, int]] = field(default_factory=list)
     released_history: list[tuple[int, list[int]]] = field(default_factory=list)
+    # -- cluster-event state (trace-driven dynamism) ----------------------
+    #: open straggler windows: [expires_at_iteration, ranks, slowdown]
+    stragglers: list[list] = field(default_factory=list)
+    #: ranks currently departed (failed or preempted, not yet recovered)
+    failed_ranks: set = field(default_factory=set)
+    #: every stage rank group in original pipeline order (seeded from the
+    #: run-start placement); positions for regrow are resolved against
+    #: this stable frame, so staggered failures cannot skew insert order
+    stage_order: list[tuple[int, ...]] = field(default_factory=list)
+    #: stage groups removed by events; a recovery re-admits a group —
+    #: at its original pipeline position — once none of its ranks is failed
+    lost_stages: list[tuple[int, ...]] = field(default_factory=list)
+    #: a straggler window opened/closed this iteration: invoke the
+    #: controller off-cadence so the partition adapts to the new speeds
+    force_rebalance: bool = False
+    #: (iteration, kind, ranks) log of applied events
+    applied_events: list[tuple[int, str, list[int]]] = field(default_factory=list)
 
 
 @dataclass
@@ -96,6 +115,10 @@ class TrainingResult:
     final_stage_ranks: list[int] = field(default_factory=list)
     #: (iteration, global ranks freed) per re-pack event
     released_ranks_history: list[tuple[int, list[int]]] = field(default_factory=list)
+    #: (iteration, kind, ranks) per applied cluster event (trace runs)
+    cluster_events_applied: list[tuple[int, str, list[int]]] = field(
+        default_factory=list
+    )
 
     @property
     def tokens_per_s(self) -> float:
@@ -125,6 +148,7 @@ class Trainer:
         job_name: str = "train",
         trace_recorder=None,
         placement: Placement | None = None,
+        cluster_events: ClusterEventTrace | None = None,
     ) -> None:
         self.cfg = cfg
         self.cost = cost
@@ -155,6 +179,25 @@ class Trainer:
         self.job_manager = job_manager
         self.job_name = job_name
         self.trace_recorder = trace_recorder
+        self.cluster_events = cluster_events
+        if cluster_events:
+            limit = (
+                placement.topology.num_gpus
+                if placement is not None
+                else self.plan.num_stages
+            )
+            if cluster_events.max_rank() >= limit:
+                raise ValueError(
+                    f"cluster event trace names rank {cluster_events.max_rank()}, "
+                    f"but only ranks [0, {limit}) exist here"
+                )
+        # migration pricing for event-driven shrink/regrow transitions
+        # follows the controller's overlap model when one is attached
+        self._event_overlap = (
+            controller.config.migration_overlap if controller is not None else 0.7
+        )
+        # canonical straggler state folded into the iteration-cache key
+        self._slowdown_key: tuple = ()
         if job_manager is not None:
             job_manager.request(job_name, cfg.total_gpus, iteration=0)
         # Bounded LRU of iteration results: long elastic runs that
@@ -179,7 +222,7 @@ class Trainer:
 
     def _cache_key(self) -> tuple:
         grid = self.placement.grid if self.placement is not None else None
-        return (self.plan.boundaries, grid, self._states_key())
+        return (self.plan.boundaries, grid, self._slowdown_key, self._states_key())
 
     def _cache_lookup(self, key: tuple) -> IterationResult | None:
         res = self._cache.get(key)
@@ -230,12 +273,18 @@ class Trainer:
         return st
 
     def _pre_iteration(self, st: _RunState, k: int) -> None:
-        """Advance dynamism and (when due) the DynMo controller."""
+        """Apply cluster events, advance dynamism and (when due) the
+        DynMo controller."""
+        if self.cluster_events:
+            self._apply_cluster_events(st, k)
         st.advance(k, self.states)
         st.total_time += st.scheme_overhead
 
-        if self.controller is not None and self.controller.should_invoke(
-            k, self.scheme.rebalance_every
+        force = st.force_rebalance
+        st.force_rebalance = False
+        if self.controller is not None and (
+            force
+            or self.controller.should_invoke(k, self.scheme.rebalance_every)
         ):
             decision = self.controller.rebalance(
                 k, self.plan, self.states, iter_time_hint=st.last_iter_time
@@ -255,6 +304,160 @@ class Trainer:
             st.overhead += decision.overhead_s
             st.total_time += decision.overhead_s
             st.moved += decision.layers_moved
+
+    # -- cluster-event handling ----------------------------------------------
+    # A trace-driven run reacts to a changing cluster mid-flight:
+    # failures/preemptions shrink the placement onto the surviving rank
+    # groups (repack), recoveries re-admit released groups (regrow), and
+    # straggler windows install per-rank slowdown factors on the engine.
+    # Every transition prices its layer migration like a controller
+    # repack would, so elasticity overhead stays honest.
+
+    def _apply_cluster_events(self, st: _RunState, k: int) -> None:
+        if not st.stage_order and self.placement is not None:
+            # seed the stable pipeline frame before anything (events or
+            # controller re-packs) can mutate the placement
+            st.stage_order = [tuple(row) for row in self.placement.grid]
+        changed = False
+        for window in list(st.stragglers):
+            if k >= window[0]:
+                st.stragglers.remove(window)
+                changed = True
+                st.force_rebalance = True
+        for ev in self.cluster_events.events_at(k):
+            st.applied_events.append((k, ev.kind, list(ev.ranks)))
+            if ev.kind == "straggler":
+                # a window naming only departed ranks is a no-op (it
+                # must not pollute the slowdown key and thrash the cache)
+                live = tuple(r for r in ev.ranks if r not in st.failed_ranks)
+                if live:
+                    st.stragglers.append([k + ev.duration, live, ev.slowdown])
+                    changed = True
+                    st.force_rebalance = True
+            elif ev.kind in ("failure", "preemption"):
+                self._apply_departure(st, k, ev.ranks)
+            else:  # recovery
+                self._apply_recovery(st, k, ev.ranks)
+        # a failed rank's open straggler windows die with it: the rank
+        # left the placement, so its slowdown prices nothing and a stale
+        # key would fragment the iteration cache (and its later expiry
+        # would force a rebalance for a no-op change)
+        for window in list(st.stragglers):
+            live = tuple(r for r in window[1] if r not in st.failed_ranks)
+            if live != window[1]:
+                changed = True
+                if live:
+                    window[1] = live
+                else:
+                    st.stragglers.remove(window)
+        if changed:
+            slow: dict[int, float] = {}
+            for _, ranks, factor in st.stragglers:
+                for r in ranks:
+                    slow[r] = max(slow.get(r, 1.0), factor)
+            self.engine.set_rank_slowdowns(slow)
+            self._slowdown_key = tuple(sorted(self.engine.rank_slowdowns.items()))
+
+    def _require_event_placement(self, kind: str) -> Placement:
+        if self.placement is None:
+            raise ValueError(
+                f"{kind} events need an explicit stage→rank placement; "
+                "construct the Trainer with a comm model and a "
+                "placement_strategy (stragglers alone work without one)"
+            )
+        return self.placement
+
+    def _apply_departure(self, st: _RunState, k: int, ranks: tuple[int, ...]) -> None:
+        placement = self._require_event_placement("failure/preemption")
+        dead = {r for r in ranks if r not in st.failed_ranks}
+        st.failed_ranks.update(ranks)
+        if not dead:
+            return
+        hit = [
+            s
+            for s in range(placement.num_stages)
+            if dead.intersection(placement.dp_group(s))
+        ]
+        if not hit:
+            return  # spare ranks died; nothing placed on them
+        surviving = [s for s in range(placement.num_stages) if s not in hit]
+        if not surviving:
+            raise RuntimeError(
+                f"cluster event at iteration {k} killed every pipeline stage"
+            )
+        for s in hit:
+            st.lost_stages.append(placement.dp_group(s))
+        released = [r for s in hit for r in placement.dp_group(s)]
+        self._transition(st, k, placement.after_repack(surviving), released)
+        if self.job_manager is not None:
+            self.job_manager.release(self.job_name, len(released), iteration=k)
+
+    def _apply_recovery(self, st: _RunState, k: int, ranks: tuple[int, ...]) -> None:
+        placement = self._require_event_placement("recovery")
+        st.failed_ranks.difference_update(ranks)
+        # a lost stage group regrows once every rank in it is healthy
+        # again (a failure may have killed one replica of a DP group;
+        # the group's survivors were released with it and return here)
+        order = {group: i for i, group in enumerate(st.stage_order)}
+        ready = sorted(
+            (
+                group
+                for group in st.lost_stages
+                if not st.failed_ranks.intersection(group)
+            ),
+            key=lambda g: order.get(g, len(order)),
+        )
+        if not ready:
+            return
+        regrown = placement
+        readmitted: list[int] = []
+        for group in ready:
+            if regrown.num_stages >= self.plan.num_layers:
+                break  # a pipeline cannot outgrow its layer count
+            # original position = how many currently-placed groups come
+            # before this one in the run-start pipeline order (stable
+            # across staggered failures and interleaved re-packs)
+            rank_of = order.get(group, len(order))
+            pos = sum(
+                1 for row in regrown.grid if order.get(tuple(row), -1) < rank_of
+            )
+            regrown = regrown.after_regrow([(pos, group)])
+            st.lost_stages.remove(group)
+            readmitted.extend(group)
+        if not readmitted:
+            return
+        self._transition(st, k, regrown, released=[])
+        if self.job_manager is not None:
+            self.job_manager.request(self.job_name, len(readmitted), iteration=k)
+
+    def _transition(
+        self, st: _RunState, k: int, new_placement: Placement, released: list[int]
+    ) -> None:
+        """Re-split the plan over the new stage count and price the move."""
+        old_plan, old_placement = self.plan, self.placement
+        new_plan = PipelinePlan.uniform(
+            old_plan.num_layers, new_placement.num_stages
+        )
+        migration = diff_plans(old_plan, new_plan, self.cost, self.states)
+        cost = migration.cost_seconds(
+            self.comm,
+            overlap=self._event_overlap,
+            src_placement=old_placement,
+            dst_placement=new_placement,
+        )
+        self.plan = new_plan
+        self.placement = new_placement
+        self.engine.placement = new_placement
+        if self.controller is not None:
+            self.controller.placement = new_placement
+        st.overhead += cost
+        st.total_time += cost
+        st.moved += migration.num_layers_moved
+        if released:
+            st.released_history.append((k, released))
+        # the re-split partition is contiguous-uniform; let the
+        # controller re-optimise it on its next (forced) invocation
+        st.force_rebalance = True
 
     def _post_iteration(self, st: _RunState, k: int, res: IterationResult) -> None:
         st.last_iter_time = res.makespan
@@ -295,6 +498,7 @@ class Trainer:
                 else list(range(self.plan.num_stages))
             ),
             released_ranks_history=st.released_history,
+            cluster_events_applied=st.applied_events,
         )
 
     # -- batched fast path ---------------------------------------------------
@@ -314,6 +518,9 @@ class Trainer:
             self.controller is not None
             or not self.engine.use_compiled
             or self.engine.record_timeline
+            # event-trace runs change plan/placement/speeds mid-flight,
+            # so states cannot be pre-simulated against a fixed shape
+            or self.cluster_events
             # static control runs never leave their initial state; skip
             # the dry scan instead of discovering one lone fingerprint
             or isinstance(self.scheme, StaticScheme)
@@ -341,7 +548,7 @@ class Trainer:
             if fp in seen:
                 continue
             seen.add(fp)
-            key = (self.plan.boundaries, grid, fp)
+            key = (self.plan.boundaries, grid, self._slowdown_key, fp)
             if self._cache_lookup(key) is None:
                 todo.append((key, [s.copy() for s in states]))
             if len(todo) >= self._cache_capacity:

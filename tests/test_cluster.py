@@ -249,3 +249,26 @@ class TestParseCluster:
         for bad in ("", "8", "2x", "x4", "2x8:tpu", "0x4", "2x-1"):
             with pytest.raises(ValueError):
                 parse_cluster(bad)
+
+    def test_degenerate_specs_name_the_bad_segment(self):
+        """Satellite bugfix: zero/negative counts, empty '+' segments
+        and unknown models raise ValueErrors naming the offender, never
+        a bare KeyError/IndexError or a nonsense topology."""
+        from repro.cluster import parse_cluster
+
+        with pytest.raises(ValueError, match=r"'0x8'.*node count"):
+            parse_cluster("0x8")
+        with pytest.raises(ValueError, match=r"'2x0'.*GPUs per node"):
+            parse_cluster("2x0")
+        with pytest.raises(ValueError, match=r"'-1x8'.*node count"):
+            parse_cluster("-1x8")
+        with pytest.raises(ValueError, match="empty group in cluster spec"):
+            parse_cluster("2x4++2x4")
+        with pytest.raises(ValueError, match="empty group in cluster spec"):
+            parse_cluster("2x4+")
+        with pytest.raises(ValueError, match=r"unknown GPU model 'tpu' in cluster group '2x4:tpu'"):
+            parse_cluster("2x4:tpu")
+        # whitespace-only and separator-only specs fail cleanly too
+        for bad in ("  ", "+", " + "):
+            with pytest.raises(ValueError, match="cluster"):
+                parse_cluster(bad)

@@ -345,6 +345,32 @@ class TestPrewarmAndLockstep:
         (outcome,) = run_trainers_lockstep([(t, None)], deadline_s=0.0)
         assert isinstance(outcome, LockstepTimeout)
 
+    def test_lockstep_deadline_never_overwrites_finished_runs(
+        self, gpt24_cost, gpt24_specs
+    ):
+        """Regression: a fast run that completed all its iterations
+        before the deadline expired must get its TrainingResult, not be
+        swept into the slow bin-mate's LockstepTimeout."""
+        import time as _time
+
+        from repro.training import LockstepTimeout, run_trainers_lockstep
+
+        class Slow(StaticScheme):
+            def step(self, k, states):
+                _time.sleep(0.2)
+                return False
+
+        fast = self._trainer(gpt24_cost, gpt24_specs, scheme=Slow(gpt24_specs), iters=1)
+        slow = self._trainer(gpt24_cost, gpt24_specs, scheme=Slow(gpt24_specs), iters=50)
+        # after iteration 0 (~0.4s of scheme steps) the deadline is long
+        # expired; fast has no iterations left, slow has 49
+        out_fast, out_slow = run_trainers_lockstep(
+            [(fast, None), (slow, None)], deadline_s=0.1
+        )
+        assert isinstance(out_slow, LockstepTimeout)
+        assert not isinstance(out_fast, BaseException)
+        assert out_fast.iterations == 1
+
     def test_lockstep_mixed_iteration_counts(self, gpt24_cost, gpt24_specs):
         from repro.training import run_trainers_lockstep
 
