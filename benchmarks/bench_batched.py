@@ -1,6 +1,6 @@
 """Batched-backend microbenchmark: vectorized multi-run replay vs scalar.
 
-Times ``PipelineEngine.run_iterations_batched`` over N scenarios
+Times ``PipelineEngine.simulate`` over N scenarios
 against N calls of the compiled scalar ``run_iteration`` (and the
 reference ready-loop) at sweep-realistic shapes, and writes a
 ``BENCH_batched.json`` artifact tracked commit-over-commit (the CI
@@ -90,10 +90,8 @@ def run_grid(
             )
             for n in batch_sizes:
                 scenarios = [(plan, states) for states in all_states[:n]]
-                engine.run_iterations_batched(scenarios)  # warm compile caches
-                t_batched = _best_of(
-                    lambda: engine.run_iterations_batched(scenarios), repeats
-                )
+                engine.simulate(scenarios)  # warm compile caches
+                t_batched = _best_of(lambda: engine.simulate(scenarios), repeats)
 
                 def scalar():
                     for p, states in scenarios:

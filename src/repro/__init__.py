@@ -26,7 +26,20 @@ from repro.model import GPTConfig, ModelCost, build_layer_specs
 from repro.pipeline import PipelineEngine, PipelinePlan
 from repro.training import Trainer, TrainingConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# the stable orchestration facade (repro.api) re-exported at top level;
+# imported after __version__ so repro.orchestrator.spec can hash it
+from repro.api import (  # noqa: E402
+    EnsembleResult,
+    ExecutionPolicy,
+    RunRecord,
+    RunSpec,
+    TraceDistribution,
+    ensemble,
+    simulate,
+    sweep,
+)
 
 __all__ = [
     "DynMoConfig",
@@ -41,5 +54,13 @@ __all__ = [
     "PipelinePlan",
     "Trainer",
     "TrainingConfig",
+    "EnsembleResult",
+    "ExecutionPolicy",
+    "RunRecord",
+    "RunSpec",
+    "TraceDistribution",
+    "ensemble",
+    "simulate",
+    "sweep",
     "__version__",
 ]

@@ -1,0 +1,114 @@
+"""Stable public facade: declare a run, then simulate / sweep / ensemble.
+
+This module is the supported entry point for orchestrated simulation —
+the deep module paths keep working, but new code should start here:
+
+>>> import repro
+>>> spec = repro.RunSpec(scenario="pruning", mode="dynmo-partition")
+>>> record = repro.simulate(spec)
+>>> records = repro.sweep([spec, spec.with_(mode="megatron")],
+...                       repro.ExecutionPolicy(backend="batched"))
+>>> dist = repro.ensemble(spec, n=64)  # Monte-Carlo fault ensemble
+
+Execution is controlled by an explicit :class:`ExecutionPolicy`
+(``backend="batched" | "inline" | "pool"``) instead of the legacy
+``jobs`` integer protocol; ``jobs=`` is still accepted by
+:class:`~repro.orchestrator.runner.SweepRunner` as a deprecated alias.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.ensemble import (
+    EnsembleResult,
+    TraceDistribution,
+    run_ensemble,
+)
+from repro.orchestrator.results import RunRecord
+from repro.orchestrator.runner import ExecutionPolicy, SweepRunner, execute_spec
+from repro.orchestrator.spec import RunSpec
+
+__all__ = [
+    "EnsembleResult",
+    "ExecutionPolicy",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "TraceDistribution",
+    "ensemble",
+    "simulate",
+    "sweep",
+]
+
+
+def _as_cache(cache: ResultCache | str | os.PathLike | None) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def simulate(spec: RunSpec, *, policy: ExecutionPolicy | None = None) -> RunRecord:
+    """Run one spec to a :class:`RunRecord` (failures captured, not raised).
+
+    A single run always executes in this process; the engine still
+    batches internally where it can (segmented prewarm decomposes
+    trace-driven runs into piecewise-static segments and simulates each
+    segment's states as one vectorized batch).  ``policy`` only
+    contributes its ``timeout_s`` here.
+    """
+    return execute_spec(spec, policy.timeout_s if policy is not None else None)
+
+
+def sweep(
+    specs: Sequence[RunSpec],
+    policy: ExecutionPolicy | None = None,
+    *,
+    cache: ResultCache | str | os.PathLike | None = None,
+    progress=None,
+    refresh: bool = False,
+) -> list[RunRecord]:
+    """Run many specs through a :class:`SweepRunner`.
+
+    ``policy`` picks the backend (default: batched lockstep bins in
+    this process); ``cache`` (a :class:`ResultCache` or a directory
+    path) serves repeat specs from their content hash.
+    """
+    runner = SweepRunner(
+        policy=policy or ExecutionPolicy("batched"),
+        cache=_as_cache(cache),
+        progress=progress,
+        refresh=refresh,
+    )
+    with runner:
+        return runner.run(list(specs))
+
+
+def ensemble(
+    spec: RunSpec | Sequence[RunSpec],
+    n: int,
+    policy: ExecutionPolicy | None = None,
+    *,
+    distribution: TraceDistribution | None = None,
+    seed0: int = 0,
+    cache: ResultCache | str | os.PathLike | None = None,
+    progress=None,
+    refresh: bool = False,
+) -> EnsembleResult:
+    """Monte-Carlo fault ensemble: N sampled traces per base spec.
+
+    See :func:`repro.orchestrator.ensemble.run_ensemble`; this facade
+    additionally accepts a cache directory path for ``cache``.
+    """
+    return run_ensemble(
+        spec,
+        n,
+        policy,
+        distribution=distribution,
+        seed0=seed0,
+        cache=_as_cache(cache),
+        progress=progress,
+        refresh=refresh,
+    )

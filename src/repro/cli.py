@@ -32,6 +32,7 @@ from repro.experiments import (
 )
 from repro.orchestrator import (
     MODES,
+    ExecutionPolicy,
     ResultCache,
     RunSpec,
     SweepRunner,
@@ -99,7 +100,7 @@ def _add_topology_flags(p: argparse.ArgumentParser, multi: bool = False) -> None
 def _runner_from_args(args, progress=None) -> SweepRunner:
     cache = ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
     return SweepRunner(
-        jobs=args.jobs,
+        policy=ExecutionPolicy.from_jobs(args.jobs, args.timeout),
         cache=cache,
         timeout_s=args.timeout,
         progress=progress,
@@ -258,6 +259,83 @@ def cmd_sweep(args) -> int:
     if args.csv:
         print(f"wrote {write_csv(records, args.csv)}")
     return 0 if n_ok == len(records) else 1
+
+
+def cmd_ensemble(args) -> int:
+    """Monte-Carlo fault ensemble over N sampled cluster-event traces."""
+    from repro.orchestrator import TraceDistribution, run_ensemble
+
+    dist = TraceDistribution(
+        failure_rate=args.failure_rate,
+        straggler_rate=args.straggler_rate,
+        preemption_rate=args.preemption_rate,
+        recover_after=args.recover_after,
+        straggler_duration=args.straggler_duration,
+        straggler_slowdown=args.straggler_slowdown,
+    )
+    bases = [
+        RunSpec(
+            scenario=scenario,
+            mode=mode,
+            num_layers=args.layers[0],
+            pp_stages=args.stages,
+            dp_ways=args.dp,
+            iterations=args.iterations,
+            schedule=args.schedule,
+            balance_cost=args.balance_cost,
+            placement=args.placement,
+            cluster=args.cluster or "",
+        )
+        for scenario in args.scenario
+        for mode in args.mode
+    ]
+
+    def progress(done: int, total: int, record) -> None:
+        origin = "cache" if record.cached else f"{record.duration_s:.1f}s"
+        print(
+            f"[{done}/{total}] {record.status:<7} {record.spec.label:<40} "
+            f"({origin})",
+            flush=True,
+        )
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    t0 = time.perf_counter()
+    result = run_ensemble(
+        bases,
+        args.n,
+        ExecutionPolicy.from_jobs(args.jobs, args.timeout),
+        distribution=dist,
+        seed0=args.trace_seed,
+        cache=cache,
+        progress=progress if args.verbose else None,
+        refresh=bool(args.no_cache),
+    )
+    wall = time.perf_counter() - t0
+
+    rows = [s.row() for s in result.stats]
+    print(ascii_table(rows, title=f"Ensemble — {args.n} sampled traces per group"))
+    n_failed = sum(s.failed for s in result.stats)
+    hit = " (full cache hit)" if result.full_cache_hit else ""
+    print(
+        f"{len(bases)} groups x {args.n} draws -> {result.num_unique} unique "
+        f"runs: {result.num_cached} from cache{hit}, {n_failed} failed, "
+        f"{wall:.1f}s wall"
+    )
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.csv:
+        import csv as _csv
+
+        with open(args.csv, "w", newline="") as fh:
+            writer = _csv.DictWriter(fh, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {args.csv}")
+    return 0 if n_failed == 0 else 1
 
 
 def cmd_events(args) -> int:
@@ -445,6 +523,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute every run, refreshing any cached entries",
     )
     ps.set_defaults(fn=cmd_sweep, jobs=None, cache_dir=DEFAULT_CACHE_DIR)
+
+    pn = sub.add_parser(
+        "ensemble",
+        help="Monte-Carlo fault ensemble: N sampled cluster-event traces "
+             "per (scenario x mode), batched execution, p50/p99 + "
+             "survivability summaries",
+    )
+    _add_common(pn)
+    _add_runner_flags(pn)
+    _add_topology_flags(pn)
+    pn.add_argument("--scenario", nargs="+", default=["pruning"], choices=SCENARIOS)
+    pn.add_argument(
+        "--mode", nargs="+", default=["megatron", "dynmo-partition"], choices=MODES
+    )
+    pn.add_argument("--schedule", default="zb", choices=["gpipe", "1f1b", "zb"])
+    pn.add_argument("--n", type=int, default=64, metavar="N",
+                    help="sampled traces per (scenario x mode) group")
+    pn.add_argument("--trace-seed", type=int, default=0, metavar="SEED0",
+                    help="draw i uses trace seed SEED0+i")
+    pn.add_argument("--failure-rate", type=float, default=0.01,
+                    help="per-iteration probability of one rank failing")
+    pn.add_argument("--straggler-rate", type=float, default=0.02,
+                    help="per-iteration probability of a straggler window opening")
+    pn.add_argument("--preemption-rate", type=float, default=0.0,
+                    help="per-iteration probability of one rank being preempted")
+    pn.add_argument("--recover-after", type=int, default=40, metavar="ITERS",
+                    help="schedule a recovery this many iterations after "
+                         "each failure/preemption (0 = never recover)")
+    pn.add_argument("--straggler-duration", type=int, default=20, metavar="ITERS")
+    pn.add_argument("--straggler-slowdown", type=float, default=2.0,
+                    help="op-time factor on straggling ranks (>= 1.0)")
+    pn.add_argument("--json", default=None,
+                    help="write the full distribution summary to this JSON file")
+    pn.add_argument("--csv", default=None, help="write flat rows to this CSV file")
+    pn.add_argument("--verbose", action="store_true",
+                    help="print per-run progress lines")
+    pn.add_argument(
+        "--no-cache", action="store_true",
+        help="re-execute every run, refreshing any cached entries",
+    )
+    pn.set_defaults(fn=cmd_ensemble, jobs=0, cache_dir=DEFAULT_CACHE_DIR)
 
     pe = sub.add_parser(
         "events",

@@ -154,6 +154,22 @@ class ClusterEventTrace:
             tuple(replace(e, iteration=e.iteration + offset) for e in self.events)
         )
 
+    def segment_boundaries(self) -> tuple[int, ...]:
+        """Iterations that open a new piecewise-static segment.
+
+        Between consecutive boundaries the run's placement and slowdown
+        map — and therefore its compiled-schedule cache key — are fixed,
+        which is what lets trace-driven runs batch segment by segment.
+        Boundaries are every event iteration plus the expiry of each
+        straggler window (``iteration + duration``, when its slowdown
+        factor lifts again).
+        """
+        marks = {e.iteration for e in self.events}
+        marks.update(
+            e.iteration + e.duration for e in self.events if e.kind == "straggler"
+        )
+        return tuple(sorted(marks))
+
     def summary(self) -> dict[str, int]:
         """Event counts by kind (for logs and CLI output)."""
         out = dict.fromkeys(EVENT_KINDS, 0)

@@ -35,6 +35,16 @@ class SimWorld:
         # observed by a later run.
         self._generation = 0
 
+    def __deepcopy__(self, memo: dict) -> "SimWorld":
+        # locks/queues/barriers can't be copied, and don't need to be:
+        # every run() namespaces its traffic under a fresh generation,
+        # so a brand-new world of the same size is indistinguishable.
+        # This keeps schemes that embed a world (e.g. the global
+        # magnitude pruner) deep-copyable for shadow prewarm replays.
+        clone = SimWorld(self.size)
+        memo[id(self)] = clone
+        return clone
+
     # -- plumbing ---------------------------------------------------------
     def _box(self, key: tuple) -> queue.Queue:
         with self._lock:

@@ -17,8 +17,17 @@ from repro.orchestrator.export import (
     write_csv,
     write_json,
 )
+from repro.orchestrator.ensemble import (
+    EnsembleResult,
+    EnsembleStats,
+    TraceDistribution,
+    percentile_nearest,
+    run_ensemble,
+    sample_specs,
+)
 from repro.orchestrator.results import RunRecord, SweepError, result_metrics
 from repro.orchestrator.runner import (
+    ExecutionPolicy,
     SweepRunner,
     SweepTimeout,
     execute_spec,
@@ -30,6 +39,9 @@ from repro.orchestrator.spec import MODES, SPEC_SCHEMA_VERSION, RunSpec
 __all__ = [
     "MODES",
     "SPEC_SCHEMA_VERSION",
+    "EnsembleResult",
+    "EnsembleStats",
+    "ExecutionPolicy",
     "ResultCache",
     "RunRecord",
     "RunSpec",
@@ -41,8 +53,12 @@ __all__ = [
     "record_row",
     "records_to_rows",
     "result_metrics",
+    "TraceDistribution",
+    "percentile_nearest",
+    "run_ensemble",
     "run_specs",
     "run_specs_by",
+    "sample_specs",
     "write_csv",
     "write_json",
 ]

@@ -22,6 +22,7 @@ _ROW_METRICS = (
     "tokens_per_s",
     "mean_bubble_ratio",
     "overhead_fraction",
+    "overhead_s",
     "layers_moved",
     "average_gpus",
     "final_num_stages",

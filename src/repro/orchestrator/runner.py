@@ -44,11 +44,79 @@ import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.results import RunRecord, result_metrics
 from repro.orchestrator.spec import MODES, RunSpec
+
+#: execution backends an :class:`ExecutionPolicy` can name
+BACKENDS = ("batched", "inline", "pool")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a sweep's pending specs execute — explicit, not magic ints.
+
+    Replaces the ``jobs`` integer protocol (``0`` → batched, ``1`` →
+    inline, ``N>1`` → pool of N, ``None`` → pool of cpu_count):
+
+    - ``backend="batched"`` — bin compatible specs by compiled key and
+      drive whole bins in lockstep in this process, simulating each
+      iteration's cache misses as one vectorized batch;
+    - ``backend="inline"`` — serial, in the calling process;
+    - ``backend="pool"`` — chunked submission over a warm process pool
+      of ``workers`` (``None`` → all cores).
+
+    ``timeout_s`` is the per-run wall-clock budget (the batched backend
+    scales it to a whole-bin deadline).
+    """
+
+    backend: str = "inline"
+    workers: int | None = None
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.workers is not None:
+            if self.workers < 1:
+                raise ValueError(f"workers must be >= 1, got {self.workers}")
+            if self.backend != "pool":
+                raise ValueError(
+                    f"workers only applies to backend='pool', "
+                    f"not {self.backend!r}"
+                )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    @classmethod
+    def from_jobs(
+        cls, jobs: int | None, timeout_s: float | None = None
+    ) -> "ExecutionPolicy":
+        """Translate the legacy ``jobs`` integer protocol."""
+        if jobs is None:
+            return cls("pool", None, timeout_s)
+        if jobs == 0:
+            return cls("batched", timeout_s=timeout_s)
+        if jobs == 1:
+            return cls("inline", timeout_s=timeout_s)
+        return cls("pool", int(jobs), timeout_s)
+
+    @property
+    def jobs(self) -> int:
+        """The legacy integer this policy corresponds to (for display)."""
+        if self.backend == "batched":
+            return 0
+        if self.backend == "inline":
+            return 1
+        return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+
+_JOBS_UNSET = object()
 
 
 class SweepTimeout(Exception):
@@ -246,31 +314,56 @@ class SweepRunner:
     """Executes RunSpecs, serving repeats from cache and misses from an
     execution backend.
 
-    ``jobs=0`` runs the batched in-process executor (lockstep bins over
-    the vectorized engine), ``jobs=1`` runs inline serially, ``jobs>1``
-    fans chunks of specs out over a warm process pool.  Results come
-    back in spec order regardless of completion order.
+    The backend is named by an :class:`ExecutionPolicy`:
+    ``backend="batched"`` runs the in-process lockstep executor over
+    the vectorized engine, ``"inline"`` runs serially, ``"pool"`` fans
+    chunks of specs out over a warm process pool.  Results come back in
+    spec order regardless of completion order.
+
+    The legacy ``jobs`` integer protocol (``0``/``1``/``N``/``None``)
+    is still accepted as a deprecated alias and mapped through
+    :meth:`ExecutionPolicy.from_jobs`.
     """
 
     def __init__(
         self,
-        jobs: int | None = 1,
+        jobs: int | None = _JOBS_UNSET,  # type: ignore[assignment]
         cache: ResultCache | None = None,
         timeout_s: float | None = None,
         progress: ProgressFn | None = None,
         refresh: bool = False,
+        *,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
-        if jobs is None:
-            jobs = os.cpu_count() or 1
-        self.jobs = 0 if jobs == 0 else max(1, jobs)
+        if policy is not None and jobs is not _JOBS_UNSET:
+            raise ValueError(
+                "pass either policy= or the deprecated jobs=, not both"
+            )
+        if jobs is not _JOBS_UNSET:
+            warnings.warn(
+                "SweepRunner(jobs=...) is deprecated; pass "
+                "policy=ExecutionPolicy(backend=..., workers=...) instead "
+                "(jobs=0 -> 'batched', jobs=1 -> 'inline', jobs>1/None -> "
+                "'pool')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = ExecutionPolicy.from_jobs(jobs, timeout_s)
+        elif policy is None:
+            policy = ExecutionPolicy("inline", timeout_s=timeout_s)
+        self.policy = policy
         self.cache = cache
-        self.timeout_s = timeout_s
+        self.timeout_s = timeout_s if timeout_s is not None else policy.timeout_s
         self.progress = progress
         # refresh: skip cache reads but still write results through, so
         # a forced re-run replaces stale entries instead of orphaning them
         self.refresh = refresh
         self._pool: ProcessPoolExecutor | None = None
-        if timeout_s and self.jobs != 0 and not hasattr(signal, "SIGALRM"):
+        if (
+            self.timeout_s
+            and policy.backend != "batched"
+            and not hasattr(signal, "SIGALRM")
+        ):
             warnings.warn(
                 "per-run timeouts need SIGALRM, which this platform lacks; "
                 "timeout_s is only enforced post-hoc (jobs=0 enforces it "
@@ -278,6 +371,11 @@ class SweepRunner:
                 RuntimeWarning,
                 stacklevel=2,
             )
+
+    @property
+    def jobs(self) -> int:
+        """Legacy integer view of the policy (for display and logs)."""
+        return self.policy.jobs
 
     def close(self) -> None:
         """Detach from the warm worker pool (idempotent).
@@ -318,11 +416,11 @@ class SweepRunner:
         if not pending:
             return [r for r in records if r is not None]
 
-        if self.jobs == 0:
+        if self.policy.backend == "batched":
             self._run_batched([(i, specs[i]) for i in pending], finish)
             return [r for r in records if r is not None]
 
-        if self.jobs == 1 or len(pending) == 1:
+        if self.policy.backend == "inline" or len(pending) == 1:
             for i in pending:
                 finish(i, execute_spec(specs[i], self.timeout_s))
             return [r for r in records if r is not None]
@@ -376,10 +474,13 @@ class SweepRunner:
     ) -> None:
         """Evaluate specs binned by compiled key, whole bins in lockstep.
 
-        Specs whose pipeline shape can diverge mid-run (re-packing,
-        elasticity, cluster-event traces) are executed on the per-spec
+        Specs whose pipeline shape can diverge *unpredictably* mid-run
+        (controller re-packing, elasticity) are executed on the per-spec
         path instead — their stage count, and so their compiled key, is
-        result- or trace-dependent.
+        result-dependent.  Cluster-event specs stay in the bins: a trace
+        changes the key only at event boundaries (piecewise-static
+        segments), and the lockstep driver re-bins every iteration's
+        misses by *current* key, so event runs batch segment by segment.
         Timeouts are wall-clock checks between iterations (inside
         lockstep) and around the per-spec fallback, recorded as
         ``status="timeout"`` like the signal-based path.
@@ -388,11 +489,7 @@ class SweepRunner:
 
         bins: dict[tuple, list[tuple[int, RunSpec, object, object]]] = {}
         for i, spec in pending:
-            if (
-                spec.repack
-                or spec.elastic_total_gpus is not None
-                or spec.cluster_events
-            ):
+            if spec.repack or spec.elastic_total_gpus is not None:
                 # execute_spec arms SIGALRM when possible and otherwise
                 # enforces the budget post-hoc, so the fallback path
                 # reports timeouts exactly like the pooled path

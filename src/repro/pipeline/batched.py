@@ -51,6 +51,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
 MAX_LANES = 256
 
 
+@dataclass
+class BatchStats:
+    """Process-wide lane accounting for :func:`simulate_many`.
+
+    Tests and CI smoke steps read these counters to assert that
+    segmentable scenarios actually took the vectorized path instead of
+    silently degrading to the scalar engine.  ``reset()`` before the
+    code under test, then inspect.
+    """
+
+    calls: int = 0
+    batched_lanes: int = 0  # scenarios executed in a vectorized bin
+    scalar_singleton: int = 0  # bins of one (scalar, but batchable)
+    scalar_unbatchable: int = 0  # timeline / use_compiled=False engines
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.batched_lanes = 0
+        self.scalar_singleton = 0
+        self.scalar_unbatchable = 0
+
+    @property
+    def total_lanes(self) -> int:
+        return self.batched_lanes + self.scalar_singleton + self.scalar_unbatchable
+
+
+#: module-level counters, cumulative until :meth:`BatchStats.reset`
+stats = BatchStats()
+
+
 @dataclass(frozen=True)
 class CompiledLevels:
     """Level decomposition of a :class:`CompiledSchedule`, cached per key.
@@ -402,19 +432,21 @@ def simulate_many(
 
     Scenarios are binned by compiled key ``(schedule, S, M)``; each bin
     replays the op tables once with the scenario axis vectorized.
-    Scenarios that cannot take the batched path — timeline recording,
-    ``use_compiled=False``, an engine with active rank slowdowns
-    (straggler windows), a bin of one, or a schedule the batched ZB
-    filler cannot prove order for — fall back to the scalar engine,
-    which is bit-identical anyway.  Results come back in request order.
+    Engines with active rank slowdowns (straggler windows) batch like
+    any other: the map is fixed for the duration of this call, and the
+    per-engine duration/transfer tables price it exactly as the scalar
+    path does.  Scenarios that cannot take the batched path — timeline
+    recording, ``use_compiled=False``, a bin of one, or a schedule the
+    batched ZB filler cannot prove order for — fall back to the scalar
+    engine, which is bit-identical anyway.  Results come back in
+    request order.
     """
+    stats.calls += 1
     results: list["IterationResult" | None] = [None] * len(requests)
     groups: dict[tuple[str, int, int], list[int]] = {}
     for i, (eng, plan, states) in enumerate(requests):
-        # active straggler windows (cluster-event runs) take the scalar
-        # path: their slowdown maps mutate between iterations, so lanes
-        # must not be batched across an engine's event boundary
-        if eng.record_timeline or not eng.use_compiled or eng.rank_slowdowns:
+        if not eng.can_batch:
+            stats.scalar_unbatchable += 1
             results[i] = eng.run_iteration(plan, states)
             continue
         key = (eng.schedule.name, plan.num_stages, eng.num_micro)
@@ -423,10 +455,12 @@ def simulate_many(
     for (name, S, M), idxs in groups.items():
         lv = compile_levels(name, S, M)
         if len(idxs) == 1 or (lv.cs.zb and not lv.b_sorted):
+            stats.scalar_singleton += len(idxs)
             for i in idxs:
                 eng, plan, states = requests[i]
                 results[i] = eng.run_iteration(plan, states)
             continue
+        stats.batched_lanes += len(idxs)
         for chunk_at in range(0, len(idxs), MAX_LANES):
             chunk = idxs[chunk_at : chunk_at + MAX_LANES]
             n = len(chunk)
@@ -435,13 +469,19 @@ def simulate_many(
             wgt = np.empty((n, S))
             act = np.empty((n, S))
             # lanes sharing an engine and plan build their stage-time
-            # tables vectorized across the lane axis; a lone lane (or
-            # lanes from distinct engines, as in cross-run lockstep)
-            # falls back to the scalar stage_times — both bit-identical
+            # tables vectorized across the lane axis; lanes from
+            # distinct engines (cross-run lockstep, ensemble draws)
+            # share one unscaled base table per (cost model, plan,
+            # states fingerprint) and apply their own engine's speed
+            # scaling — the same float64 sums and divisions the scalar
+            # stage_times performs, so both routes stay bit-identical
+            from repro.training.trainer import states_fingerprint
+
             sub: dict[tuple[int, tuple], list[int]] = {}
             for lane, i in enumerate(chunk):
                 eng, plan, _ = requests[i]
                 sub.setdefault((id(eng), plan.boundaries), []).append(lane)
+            base_memo: dict[tuple, tuple] = {}
             for lanes in sub.values():
                 eng, plan, _ = requests[chunk[lanes[0]]]
                 if len(lanes) > 1:
@@ -453,20 +493,42 @@ def simulate_many(
                     fwd[lanes], bwd[lanes], wgt[lanes], act[lanes] = f, b, w, a
                 else:
                     lane = lanes[0]
+                    states = requests[chunk[lane]][2]
                     eng._check_placement(plan)
-                    f, b, w, a = eng.stage_times(plan, requests[chunk[lane]][2])
+                    bk = (
+                        id(eng.cost),
+                        plan.boundaries,
+                        states_fingerprint(states),
+                    )
+                    base = base_memo.get(bk)
+                    if base is None:
+                        base = eng.base_stage_times(plan, states)
+                        base_memo[bk] = base
+                    f, b, w, a = eng.scale_stage_times(base)
                     fwd[lane], bwd[lane], wgt[lane], act[lane] = f, b, w, a
+            # edge costs depend only on (comm, placement grid, slowdown
+            # map, boundary activation bytes); ensemble lanes mostly
+            # share all four, so memo the (S-1)-vectors per content key
             fwd_xfer = np.empty((n, S - 1))
             bwd_xfer = np.empty((n, S - 1))
+            edge_memo: dict[tuple, tuple[list, list]] = {}
             for lane, i in enumerate(chunk):
                 eng = requests[i][0]
                 a = act[lane]
-                fwd_xfer[lane] = [
-                    eng._edge_time(s, s + 1, a[s]) for s in range(S - 1)
-                ]
-                bwd_xfer[lane] = [
-                    eng._edge_time(s + 1, s, a[s]) for s in range(S - 1)
-                ]
+                ek = (
+                    id(eng.comm),
+                    eng.placement.grid if eng.placement is not None else None,
+                    tuple(sorted(eng.rank_slowdowns.items())),
+                    a.tobytes(),
+                )
+                edges = edge_memo.get(ek)
+                if edges is None:
+                    edges = (
+                        [eng._edge_time(s, s + 1, a[s]) for s in range(S - 1)],
+                        [eng._edge_time(s + 1, s, a[s]) for s in range(S - 1)],
+                    )
+                    edge_memo[ek] = edges
+                fwd_xfer[lane], bwd_xfer[lane] = edges
             worker_time, busy = execute_compiled_batched(
                 lv, fwd, bwd, wgt, fwd_xfer, bwd_xfer
             )

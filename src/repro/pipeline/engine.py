@@ -113,14 +113,24 @@ class PipelineEngine:
         # transient per-rank slowdown factors (straggler windows from a
         # cluster-event trace); empty means no rank is degraded
         self.rank_slowdowns: dict[int, float] = {}
+        # (key, speeds) memo for _effective_speeds; content-keyed, so
+        # placement swaps and slowdown updates need no invalidation
+        self._speeds_cache: tuple[tuple, np.ndarray | None] | None = None
         if rank_slowdowns:
             self.set_rank_slowdowns(rank_slowdowns)
 
     # -- per-stage aggregate times ------------------------------------------
-    def stage_times(
+    def base_stage_times(
         self, plan: PipelinePlan, states: list[LayerState]
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """(fwd, bwd_or_B, W, boundary activation bytes) per stage."""
+        """Per-stage times before any speed scaling.
+
+        Depends only on the cost model, the plan and the states — not on
+        this engine's placement, worker speeds or straggler windows — so
+        the batched executor shares one computation across lanes whose
+        engines differ only in those (e.g. ensemble draws of the same
+        run under different cluster traces).
+        """
         specs = self.cost.specs
         if len(states) != len(specs):
             raise ValueError("state/spec length mismatch")
@@ -141,10 +151,24 @@ class PipelineEngine:
                     bwd[s] += self.cost.backward_time(sp, st)
             last = plan.boundaries[s + 1] - 1
             act_bytes[s] = specs[last].activation_bytes * states[last].token_fraction
-        speeds = self._effective_speeds(S)
+        return fwd, bwd, wgt, act_bytes
+
+    def scale_stage_times(
+        self,
+        base: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Apply this engine's effective speeds to unscaled stage times."""
+        fwd, bwd, wgt, act_bytes = base
+        speeds = self._effective_speeds(fwd.shape[0])
         if speeds is not None:
             fwd, bwd, wgt = fwd / speeds, bwd / speeds, wgt / speeds
         return fwd, bwd, wgt, act_bytes
+
+    def stage_times(
+        self, plan: PipelinePlan, states: list[LayerState]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(fwd, bwd_or_B, W, boundary activation bytes) per stage."""
+        return self.scale_stage_times(self.base_stage_times(plan, states))
 
     def set_rank_slowdowns(self, slowdowns: dict[int, float] | None) -> None:
         """Install straggler slowdown factors keyed by global rank.
@@ -176,7 +200,28 @@ class PipelineEngine:
 
     def _effective_speeds(self, num_stages: int) -> np.ndarray | None:
         """Explicit override first, else speeds of the placed devices,
-        both degraded by any active straggler windows."""
+        both degraded by any active straggler windows.
+
+        Memoised on the content that feeds it (stage count, placement
+        grid, slowdown map) — per-iteration callers like the batched
+        executor would otherwise pay the placement speed scan on every
+        lane.  Callers never mutate the returned array (all scaling is
+        out-of-place), so sharing it is safe.
+        """
+        key = (
+            num_stages,
+            self.placement.grid if self.placement is not None else None,
+            tuple(sorted(self.rank_slowdowns.items())),
+            id(self.worker_speeds),
+        )
+        cached = self._speeds_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        speeds = self._effective_speeds_uncached(num_stages)
+        self._speeds_cache = (key, speeds)
+        return speeds
+
+    def _effective_speeds_uncached(self, num_stages: int) -> np.ndarray | None:
         speeds: np.ndarray | None = None
         if self.worker_speeds is not None:
             if self.worker_speeds.shape[0] < num_stages:
@@ -240,6 +285,15 @@ class PipelineEngine:
                 f"engine expects {self.dp_ways}"
             )
 
+    @property
+    def can_batch(self) -> bool:
+        """Whether this engine's runs may take the vectorized batched
+        path: compiled execution with no timeline recording.  Active
+        rank slowdowns do *not* disqualify an engine — the map is fixed
+        for the duration of one call, so per-lane tables price it
+        exactly like the scalar path."""
+        return self.use_compiled and not self.record_timeline
+
     # -- simulation ---------------------------------------------------------
     def run_iteration(
         self, plan: PipelinePlan, states: list[LayerState]
@@ -248,22 +302,65 @@ class PipelineEngine:
             return self.run_iteration_reference(plan, states)
         return self._run_iteration_compiled(plan, states)
 
-    def run_iterations_batched(
-        self, scenarios: Sequence[tuple[PipelinePlan, list[LayerState]]]
+    def simulate(
+        self,
+        scenarios: Sequence[tuple[PipelinePlan, list[LayerState]]],
+        *,
+        batched: str = "auto",
     ) -> list[IterationResult]:
-        """Simulate many (plan, states) scenarios in one vectorized pass.
+        """Simulate many (plan, states) scenarios — the one entry point.
 
-        Scenarios sharing a compiled key (this engine's schedule and
-        micro count, the plan's stage count) are replayed together with
-        the scenario axis vectorized (:mod:`repro.pipeline.batched`);
-        heterogeneous scenarios split into per-key bins, and bins of one
-        — or engines forced onto the reference path — fall back to
-        :meth:`run_iteration`.  Every result is bit-identical to the
-        scalar path for the same scenario.
+        This owns the batch-or-fallback decision so callers (Trainer
+        prewarm, the lockstep driver, the ensemble runner) never
+        re-implement it:
+
+        - ``batched="auto"`` routes every scenario through
+          :func:`repro.pipeline.batched.simulate_many`, which bins by
+          compiled key ``(schedule, S, M)``, replays each bin as one
+          vectorized cascade, and falls back to the scalar engine per
+          scenario where batching is impossible (timeline recording,
+          ``use_compiled=False``, a bin of one) — results are
+          bit-identical either way;
+        - ``batched="never"`` forces the scalar :meth:`run_iteration`
+          loop (the differential oracle path);
+        - ``batched="require"`` raises :class:`ValueError` when this
+          engine cannot take the batched path at all, for callers that
+          must not silently degrade (benchmarks, CI assertions).
+
+        Results come back in request order.
         """
+        if batched not in ("auto", "never", "require"):
+            raise ValueError(
+                f"batched must be 'auto', 'never' or 'require', got {batched!r}"
+            )
+        if batched == "never":
+            return [self.run_iteration(plan, states) for plan, states in scenarios]
+        if batched == "require" and not self.can_batch:
+            raise ValueError(
+                "engine cannot batch: "
+                + (
+                    "timeline recording is on"
+                    if self.record_timeline
+                    else "use_compiled=False forces the reference path"
+                )
+            )
         from repro.pipeline.batched import simulate_many
 
         return simulate_many([(self, plan, states) for plan, states in scenarios])
+
+    def run_iterations_batched(
+        self, scenarios: Sequence[tuple[PipelinePlan, list[LayerState]]]
+    ) -> list[IterationResult]:
+        """Deprecated alias for :meth:`simulate` with ``batched="auto"``."""
+        import warnings
+
+        warnings.warn(
+            "PipelineEngine.run_iterations_batched is deprecated; use "
+            "PipelineEngine.simulate(scenarios, batched='auto')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.simulate(scenarios, batched="auto")
 
     def batched_stage_times(
         self, plan: PipelinePlan, states_list: list[list[LayerState]]

@@ -1,11 +1,22 @@
 """Lockstep execution of many Trainers with batched iteration simulation.
 
-The batched sweep executor (``repro sweep --jobs 0``) runs compatible
+The batched sweep executor (``ExecutionPolicy(backend="batched")``,
+a.k.a. ``repro sweep --jobs 0``) and the ensemble runner run compatible
 RunSpecs in one process.  Each run is an independent Trainer, but all
 runs in a bin share a compiled key ``(schedule, S, M)`` — so instead of
 running them one after another, this driver advances every run one
 iteration at a time and simulates all of that iteration's cache misses
 in a single vectorized batch (:mod:`repro.pipeline.batched`).
+
+Trace-driven runs (cluster-event traces) are *piecewise static*: the
+compiled key only changes at event boundaries.  Because the driver
+re-derives every run's current ``(engine, plan, states)`` each
+iteration and :func:`simulate_many` re-bins by current key, runs whose
+stage counts diverge and re-converge mid-flight (failure, regrow)
+simply migrate between vectorized bins segment by segment — the
+boundary stitching (migration pricing, regrow re-admission, straggler
+windows) happens in each Trainer's own ``_pre_iteration`` hook exactly
+as in a solo run.
 
 Per-run semantics are untouched: each Trainer executes the exact same
 begin / pre-iteration / post-iteration / finish hooks as

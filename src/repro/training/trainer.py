@@ -514,19 +514,18 @@ class Trainer:
         on results).  Returns the number of scenarios batch-simulated;
         schemes that cannot be deep-copied are skipped (returns 0).
         """
-        if (
-            self.controller is not None
-            or not self.engine.use_compiled
-            or self.engine.record_timeline
-            # event-trace runs change plan/placement/speeds mid-flight,
-            # so states cannot be pre-simulated against a fixed shape
-            or self.cluster_events
-            # static control runs never leave their initial state; skip
-            # the dry scan instead of discovering one lone fingerprint
-            or isinstance(self.scheme, StaticScheme)
-        ):
+        if self.controller is not None or not self.engine.can_batch:
             return 0
         iters = iterations if iterations is not None else self.cfg.iterations
+        if self.cluster_events:
+            # event-trace runs change plan/placement/speeds mid-flight;
+            # a shadow replay decomposes them into piecewise-static
+            # segments and pre-simulates each segment's states instead
+            return self._prewarm_events(iters)
+        if isinstance(self.scheme, StaticScheme):
+            # static control runs never leave their initial state; skip
+            # the dry scan instead of discovering one lone fingerprint
+            return 0
         try:
             scheme = copy.deepcopy(self.scheme)
             states = copy.deepcopy(self.states)
@@ -555,10 +554,80 @@ class Trainer:
                 break
         if len(todo) < 2:  # nothing to amortise
             return 0
-        results = self.engine.run_iterations_batched(
-            [(self.plan, sts) for _, sts in todo]
-        )
+        results = self.engine.simulate([(self.plan, sts) for _, sts in todo])
         for (key, _), res in zip(todo, results):
+            self._cache_store(key, res)
+        return len(todo)
+
+    def _prewarm_events(self, iters: int) -> int:
+        """Segmented prewarm for trace-driven runs.
+
+        A trace-driven run is *piecewise static*: between cluster events
+        (and straggler-window expiries) the placement, plan and slowdown
+        map — and hence the iteration-cache key shape — are fixed.  A
+        shadow Trainer replays the trace and dynamism scheme without any
+        engine calls, collecting one scenario per distinct cache key
+        together with a frozen engine snapshot of its segment (same
+        cost/comm/schedule, that segment's placement and slowdown map).
+        One batched :meth:`PipelineEngine.simulate` call then seeds this
+        run's cache, so the real replay — which stitches the segment
+        boundaries (migration pricing, regrow re-admission, straggler
+        windows) exactly as before — hits the cache on every iteration.
+        Results are bit-identical by construction: the snapshot engines
+        price each segment with the same inputs as the live engine, and
+        the batched path is bit-identical to the scalar one.
+        """
+        try:
+            shadow = Trainer(
+                self.cfg,
+                self.cost,
+                copy.deepcopy(self.scheme),
+                comm=self.comm,
+                initial_plan=self.plan,
+                placement=self.placement,
+                cluster_events=self.cluster_events,
+            )
+            shadow.states = copy.deepcopy(self.states)
+        except Exception:
+            return 0
+        st = shadow._begin_run(iters)
+        seen: set[tuple] = set()
+        todo: list[tuple[tuple, PipelineEngine, PipelinePlan, list[LayerState]]] = []
+        try:
+            for k in range(iters):
+                shadow._pre_iteration(st, k)
+                key = shadow._cache_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                if self._cache_lookup(key) is not None:
+                    continue
+                snapshot = PipelineEngine(
+                    self.cost,
+                    self.comm,
+                    schedule=self.cfg.schedule,
+                    num_micro=self.cfg.micro_batches,
+                    dp_ways=self.cfg.dp_ways,
+                    placement=shadow.placement,
+                    rank_slowdowns=dict(shadow.engine.rank_slowdowns),
+                )
+                todo.append(
+                    (key, snapshot, shadow.plan, [s.copy() for s in shadow.states])
+                )
+                if len(todo) >= self._cache_capacity:
+                    break
+        except Exception:
+            # a shadow replay that dies (e.g. a trace killing every
+            # stage) leaves the real run to surface the error itself
+            return 0
+        if len(todo) < 2:  # nothing to amortise
+            return 0
+        from repro.pipeline.batched import simulate_many
+
+        results = simulate_many(
+            [(eng, plan, states) for _, eng, plan, states in todo]
+        )
+        for (key, _, _, _), res in zip(todo, results):
             self._cache_store(key, res)
         return len(todo)
 

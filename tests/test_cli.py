@@ -212,3 +212,40 @@ class TestHeterogeneousSweep:
         )
         assert rc == 0
         assert "Figure 1" in capsys.readouterr().out
+
+
+class TestEnsembleCommand:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "ensemble", "--scenario", "pruning", "--mode", "megatron",
+            "--n", "6", "--stages", "4", "--iterations", "20",
+            "--failure-rate", "0.05", "--recover-after", "8",
+            "--straggler-rate", "0.08", "--straggler-duration", "4",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ]
+
+    def test_ensemble_runs_and_summarises(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Ensemble" in out and "iter_p99_ms" in out
+        assert "surv_final" in out
+
+    def test_ensemble_rerun_is_full_cache_hit(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path)) == 0
+        assert "(full cache hit)" in capsys.readouterr().out
+
+    def test_ensemble_exports(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "ens.json"
+        csv_path = tmp_path / "ens.csv"
+        rc = main(self._argv(
+            tmp_path, "--json", str(json_path), "--csv", str(csv_path)
+        ))
+        assert rc == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["n"] == 6 and payload["groups"]
+        assert "survivability" in payload["groups"][0]
+        assert csv_path.read_text().startswith("group,")

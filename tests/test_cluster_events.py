@@ -336,13 +336,22 @@ class TestEngineSlowdowns:
         with pytest.raises(ValueError, match="must be > 0"):
             eng.set_rank_slowdowns({0: 0.0})
 
-    def test_batched_falls_back_for_slowed_engines(self, gpt24_cost, gpt24_specs):
+    def test_batched_prices_slowed_engines_identically(
+        self, gpt24_cost, gpt24_specs
+    ):
+        """Slowdown maps no longer force the scalar path: the map is
+        fixed for the duration of one call, so lanes batch and stay
+        bit-identical to the scalar engine."""
+        from repro.pipeline import batched as batched_mod
+
         plan = PipelinePlan.uniform(len(gpt24_specs), 4)
         states = fresh_states(len(gpt24_specs))
         eng = self._engine(gpt24_cost)
         eng.set_rank_slowdowns({1: 2.0})
         scenarios = [(plan, [s.copy() for s in states]) for _ in range(4)]
-        batched = eng.run_iterations_batched(scenarios)
+        batched_mod.stats.reset()
+        batched = eng.simulate(scenarios)
+        assert batched_mod.stats.batched_lanes == len(scenarios)
         solo = [eng.run_iteration(p, s) for p, s in scenarios]
         for a, b in zip(batched, solo):
             assert a.makespan == b.makespan
@@ -644,10 +653,13 @@ class TestEventSweep:
         assert [a[1] for a in applied] == ["failure", "straggler", "recovery"]
         assert record.metrics["final_num_stages"] == 8
 
-    def test_batched_executor_falls_back_and_matches(self, tmp_path):
-        """jobs=0 must route event specs through the per-spec path and
-        still produce the same metrics as serial execution."""
-        from repro.orchestrator import RunSpec, SweepRunner
+    def test_batched_executor_matches_serial_on_event_specs(self, tmp_path):
+        """The batched backend keeps event specs in its lockstep bins
+        (piecewise-static segments re-bin by current compiled key) and
+        still produces the same metrics as serial execution.
+        Controller-driven modes (dynmo-*) ride along: the lockstep
+        driver runs their hooks per iteration exactly like a solo run."""
+        from repro.orchestrator import ExecutionPolicy, RunSpec, SweepRunner
 
         specs = [
             RunSpec(
@@ -658,8 +670,8 @@ class TestEventSweep:
             )
             for mode in ("megatron", "dynmo-partition")
         ]
-        serial = SweepRunner(jobs=1).run(specs)
-        batched = SweepRunner(jobs=0).run(specs)
+        serial = SweepRunner(policy=ExecutionPolicy("inline")).run(specs)
+        batched = SweepRunner(policy=ExecutionPolicy("batched")).run(specs)
         for a, b in zip(serial, batched):
             assert a.ok and b.ok
             assert a.metrics == b.metrics

@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.orchestrator import (
+    ExecutionPolicy,
     ResultCache,
     RunRecord,
     RunSpec,
@@ -117,12 +118,12 @@ class TestDeadline:
 class TestSweepRunner:
     def test_results_come_back_in_spec_order(self):
         specs = [tiny(seed=s) for s in (0, 1, 2)]
-        records = SweepRunner(jobs=1).run(specs)
+        records = SweepRunner().run(specs)
         assert [r.spec.seed for r in records] == [0, 1, 2]
 
     def test_failure_does_not_poison_sweep(self):
         specs = [tiny(), tiny(mode="dense-baseline"), tiny(seed=1)]
-        records = SweepRunner(jobs=1).run(specs)
+        records = SweepRunner().run(specs)
         assert [r.status for r in records] == ["ok", "error", "ok"]
 
     def test_parallel_matches_serial_exactly(self):
@@ -131,8 +132,8 @@ class TestSweepRunner:
             for m in ("megatron", "dynmo-partition")
             for s in (0, 1)
         ]
-        serial = SweepRunner(jobs=1).run(specs)
-        pooled = SweepRunner(jobs=2).run(specs)
+        serial = SweepRunner().run(specs)
+        pooled = SweepRunner(policy=ExecutionPolicy("pool", workers=2)).run(specs)
         assert all(r.ok for r in serial + pooled)
         for a, b in zip(serial, pooled):
             assert a.metrics == b.metrics
@@ -140,7 +141,7 @@ class TestSweepRunner:
     def test_progress_callback_sees_every_run(self):
         seen = []
         runner = SweepRunner(
-            jobs=1, progress=lambda done, total, rec: seen.append((done, total))
+            progress=lambda done, total, rec: seen.append((done, total))
         )
         runner.run([tiny(), tiny(seed=1)])
         assert seen == [(1, 2), (2, 2)]
@@ -150,7 +151,7 @@ class TestSweepRunner:
         assert len(records) == 1 and records[0].ok
 
     def test_pool_is_reused_across_runs(self):
-        with SweepRunner(jobs=2) as runner:
+        with SweepRunner(policy=ExecutionPolicy("pool", workers=2)) as runner:
             runner.run([tiny(), tiny(seed=1)])
             pool = runner._pool
             assert pool is not None
@@ -159,7 +160,7 @@ class TestSweepRunner:
         assert runner._pool is None  # context exit closed it
 
     def test_close_is_idempotent(self):
-        runner = SweepRunner(jobs=2)
+        runner = SweepRunner(policy=ExecutionPolicy("pool", workers=2))
         runner.close()
         runner.close()
 
@@ -177,15 +178,15 @@ class TestBatchedExecutor:
 
     def test_batched_matches_serial_exactly(self):
         specs = self._grid()
-        serial = SweepRunner(jobs=1).run(specs)
-        batched = SweepRunner(jobs=0).run(specs)
+        serial = SweepRunner().run(specs)
+        batched = SweepRunner(policy=ExecutionPolicy("batched")).run(specs)
         assert all(r.ok for r in serial + batched)
         for a, b in zip(serial, batched):
             assert a.metrics == b.metrics
 
     def test_batched_isolates_failures(self):
         specs = [tiny(), tiny(mode="dense-baseline"), tiny(seed=1)]
-        records = SweepRunner(jobs=0).run(specs)
+        records = SweepRunner(policy=ExecutionPolicy("batched")).run(specs)
         assert [r.status for r in records] == ["ok", "error", "ok"]
         assert records[1].error_type == "ValueError"
 
@@ -200,31 +201,32 @@ class TestBatchedExecutor:
             repack_target=4,
             repack_force=True,
         )
-        serial = SweepRunner(jobs=1).run([spec])[0]
-        batched = SweepRunner(jobs=0).run([spec])[0]
+        serial = SweepRunner().run([spec])[0]
+        batched = SweepRunner(policy=ExecutionPolicy("batched")).run([spec])[0]
         assert serial.ok and batched.ok
         assert serial.metrics == batched.metrics
         assert batched.metrics["final_num_stages"] == 4
 
     def test_batched_timeout_records_status(self):
         specs = [tiny(iterations=5000), tiny(iterations=5000, seed=1)]
-        records = SweepRunner(jobs=0, timeout_s=1e-9).run(specs)
+        records = SweepRunner(policy=ExecutionPolicy("batched"), timeout_s=1e-9).run(specs)
         assert [r.status for r in records] == ["timeout", "timeout"]
         assert all(r.error_type == "SweepTimeout" for r in records)
 
     def test_batched_serves_and_fills_cache(self, tmp_path):
         cache = ResultCache(tmp_path)
         specs = self._grid()[:4]
-        first = SweepRunner(jobs=0, cache=cache).run(specs)
+        first = SweepRunner(policy=ExecutionPolicy("batched"), cache=cache).run(specs)
         assert not any(r.cached for r in first)
         assert len(cache) == len(specs)
-        rerun = SweepRunner(jobs=0, cache=cache).run(specs)
+        rerun = SweepRunner(policy=ExecutionPolicy("batched"), cache=cache).run(specs)
         assert all(r.cached for r in rerun)
 
     def test_batched_progress_sees_every_run(self):
         seen = []
         runner = SweepRunner(
-            jobs=0, progress=lambda done, total, rec: seen.append((done, total))
+            policy=ExecutionPolicy("batched"),
+            progress=lambda done, total, rec: seen.append((done, total)),
         )
         runner.run(self._grid()[:3])
         assert sorted(seen) == [(1, 3), (2, 3), (3, 3)]
@@ -258,37 +260,37 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         spec = tiny()
         assert cache.get(spec) is None
-        first = SweepRunner(jobs=1, cache=cache).run([spec])[0]
+        first = SweepRunner(cache=cache).run([spec])[0]
         assert not first.cached
-        second = SweepRunner(jobs=1, cache=cache).run([spec])[0]
+        second = SweepRunner(cache=cache).run([spec])[0]
         assert second.cached
         assert second.metrics == first.metrics
 
     def test_hit_rate_on_rerun_is_total(self, tmp_path):
         cache = ResultCache(tmp_path)
         specs = [tiny(seed=s, mode=m) for s in (0, 1) for m in ("megatron", "dynmo-partition")]
-        SweepRunner(jobs=1, cache=cache).run(specs)
-        rerun = SweepRunner(jobs=1, cache=cache).run(specs)
+        SweepRunner(cache=cache).run(specs)
+        rerun = SweepRunner(cache=cache).run(specs)
         assert all(r.cached for r in rerun)
         assert len(cache) == len(specs)
 
     def test_changed_spec_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
-        SweepRunner(jobs=1, cache=cache).run([tiny()])
-        changed = SweepRunner(jobs=1, cache=cache).run([tiny(iterations=21)])[0]
+        SweepRunner(cache=cache).run([tiny()])
+        changed = SweepRunner(cache=cache).run([tiny(iterations=21)])[0]
         assert not changed.cached
 
     def test_failures_are_never_cached(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = tiny(mode="dense-baseline")
-        SweepRunner(jobs=1, cache=cache).run([spec])
+        SweepRunner(cache=cache).run([spec])
         assert len(cache) == 0
         assert cache.get(spec) is None
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = tiny()
-        SweepRunner(jobs=1, cache=cache).run([spec])
+        SweepRunner(cache=cache).run([spec])
         path = tmp_path / f"{spec.spec_hash}.json"
         path.write_text("{not json")
         assert cache.get(spec) is None
@@ -302,7 +304,7 @@ class TestResultCache:
     def test_hash_collision_detected_via_spec_compare(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = tiny()
-        record = SweepRunner(jobs=1, cache=cache).run([spec])[0]
+        record = SweepRunner(cache=cache).run([spec])[0]
         # forge an entry whose filename matches another spec's hash
         other = tiny(seed=9)
         forged = record.to_dict()
@@ -312,11 +314,11 @@ class TestResultCache:
     def test_refresh_bypasses_reads_but_writes_through(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = tiny()
-        SweepRunner(jobs=1, cache=cache).run([spec])
+        SweepRunner(cache=cache).run([spec])
         stale = tmp_path / f"{spec.spec_hash}.json"
         before = stale.read_text()
         stale.write_text(before.replace('"status": "ok"', '"status": "ok" '))
-        refreshed = SweepRunner(jobs=1, cache=cache, refresh=True).run([spec])[0]
+        refreshed = SweepRunner(cache=cache, refresh=True).run([spec])[0]
         assert not refreshed.cached
         # the forced run replaced the entry on disk
         assert stale.read_text() != before.replace('"status": "ok"', '"status": "ok" ')
@@ -324,28 +326,28 @@ class TestResultCache:
 
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
-        SweepRunner(jobs=1, cache=cache).run([tiny()])
+        SweepRunner(cache=cache).run([tiny()])
         assert cache.clear() == 1
         assert len(cache) == 0
 
 
 class TestExport:
     def test_rows_carry_hash_and_seed(self):
-        records = SweepRunner(jobs=1).run([tiny(seed=5)])
+        records = SweepRunner().run([tiny(seed=5)])
         row = record_row(records[0])
         assert row["spec_hash"] == tiny(seed=5).spec_hash
         assert row["seed"] == 5
         assert row["tokens_per_s"] > 0
 
     def test_json_roundtrip(self, tmp_path):
-        records = SweepRunner(jobs=1).run([tiny(), tiny(seed=1)])
+        records = SweepRunner().run([tiny(), tiny(seed=1)])
         path = write_json(records, tmp_path / "out.json")
         loaded = read_json(path)
         assert [r.spec for r in loaded] == [r.spec for r in records]
         assert [r.metrics for r in loaded] == [r.metrics for r in records]
 
     def test_csv_has_header_and_rows(self, tmp_path):
-        records = SweepRunner(jobs=1).run([tiny()])
+        records = SweepRunner().run([tiny()])
         path = write_csv(records, tmp_path / "out.csv")
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 2
@@ -354,7 +356,7 @@ class TestExport:
         assert "tokens_per_s" in header
 
     def test_failed_rows_export_error_type(self):
-        records = SweepRunner(jobs=1).run([tiny(mode="dense-baseline")])
+        records = SweepRunner().run([tiny(mode="dense-baseline")])
         rows = records_to_rows(records)
         assert rows[0]["status"] == "error"
         assert rows[0]["error_type"] == "ValueError"
