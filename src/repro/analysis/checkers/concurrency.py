@@ -1,0 +1,293 @@
+"""SimWorld concurrency checker (RPR3xx).
+
+:class:`~repro.cluster.simcomm.SimWorld` runs one Python thread per
+simulated rank; PR 2 spent a whole satellite on cross-run mailbox
+poisoning caused by shared state reachable from those threads.  The
+rules this checker enforces are the ones that fix shipped:
+
+- ``RPR301`` — in a class that spawns threads, every mutation of
+  shared ``self`` state (attribute assignment, augmented assignment,
+  subscript store, or a mutating container method like ``append`` /
+  ``setdefault`` / ``update``) must happen under a ``with <lock>:``
+  block.  ``__init__``/``__deepcopy__``/``__reduce__`` run before the
+  object is shared and are exempt.  State that is *generation-
+  namespaced* instead of locked gets a justified
+  ``# repro: ignore[RPR301]``.
+- ``RPR302`` — a bare ``lock.acquire()`` call whose release is not
+  guaranteed by an immediately following ``try/finally: release()``;
+  an exception between acquire and release deadlocks every other
+  thread.  Use ``with lock:``.
+
+The checker triggers only on classes that create
+``threading.Thread``/``Lock``/``RLock``/``Condition``/``Semaphore``
+objects (or receive them as attributes), so plain dataclasses are
+never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.imports import ImportMap
+from repro.analysis.registry import Checker, register
+from repro.analysis.source import SourceFile
+
+_THREADING_FACTORIES = {
+    "threading.Thread",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Barrier",
+    "threading.Event",
+}
+
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+
+#: container methods that mutate their receiver
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "appendleft", "popleft",
+}
+
+#: methods that run before the instance is visible to other threads
+_EXEMPT_METHODS = {"__init__", "__new__", "__deepcopy__", "__reduce__",
+                   "__copy__", "__getstate__", "__setstate__"}
+
+
+def _lockish_name(node: ast.expr) -> bool:
+    """Does this context-manager expression look like a lock?"""
+    if isinstance(node, ast.Call):  # e.g. self._lock.acquire_timeout(...)
+        node = node.func
+    name = ""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    name = name.lower()
+    return any(tag in name for tag in ("lock", "mutex", "sem", "cond"))
+
+
+class _ClassScan(ast.NodeVisitor):
+    """Collect thread usage, lock names, and self-mutations of one class."""
+
+    def __init__(self, imports: ImportMap) -> None:
+        self.imports = imports
+        self.spawns_threads = False
+        self.uses_locks = False
+        #: (node, method-name, description) of self-state mutations
+        self.mutations: list[tuple[ast.AST, str, str]] = []
+        #: bare .acquire() calls: (call-node, guarded-by-try-finally)
+        self.acquires: list[tuple[ast.Call, bool]] = []
+        self._method = ""
+        self._with_lock_depth = 0
+
+    # -- structure --------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # nested classes are scanned as their own unit
+
+    def scan_method(self, node: ast.FunctionDef) -> None:
+        self._method = node.name
+        self._walk_body(node.body)
+
+    def _walk_body(self, body: list[ast.stmt]) -> None:
+        for i, stmt in enumerate(body):
+            self._statement(stmt, body, i)
+
+    def _statement(self, stmt: ast.stmt, body: list[ast.stmt], i: int) -> None:
+        if isinstance(stmt, ast.With):
+            lock_guard = any(_lockish_name(item.context_expr) for item in stmt.items)
+            for item in stmt.items:
+                self._expr(item.context_expr, body, i)
+            if lock_guard:
+                self._with_lock_depth += 1
+            self._walk_body(stmt.body)
+            if lock_guard:
+                self._with_lock_depth -= 1
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                pass  # handled via the containers below
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested function (thread body closure): same method context
+            self._walk_body(stmt.body)
+            return
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._store_target(target)
+            self._expr(stmt.value, body, i)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._store_target(stmt.target, aug=True)
+            self._expr(stmt.value, body, i)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            self._store_target(stmt.target)
+            if stmt.value is not None:
+                self._expr(stmt.value, body, i)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test, body, i)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.For):
+            self._expr(stmt.iter, body, i)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(stmt.orelse)
+            self._walk_body(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, body, i)
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._expr(stmt.value, body, i)
+            return
+        # fallback: scan any remaining expressions for calls
+        for child in ast.walk(stmt):
+            if isinstance(child, ast.Call):
+                self._call(child, body, i)
+
+    # -- stores -----------------------------------------------------------
+    def _is_self_state(self, node: ast.expr) -> bool:
+        """``self.x`` or ``self.x[...]`` (any nesting of subscripts)."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    def _store_target(self, target: ast.expr, aug: bool = False) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store_target(elt, aug)
+            return
+        if self._is_self_state(target) and self._with_lock_depth == 0:
+            base = target
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            attr = base.attr if isinstance(base, ast.Attribute) else "?"
+            kind = "augmented assignment to" if aug else (
+                "subscript store into"
+                if isinstance(target, ast.Subscript)
+                else "assignment to"
+            )
+            self.mutations.append((target, self._method, f"{kind} self.{attr}"))
+
+    # -- calls ------------------------------------------------------------
+    def _expr(self, node: ast.expr, body: list[ast.stmt], i: int) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._call(child, body, i)
+
+    def _call(self, call: ast.Call, body: list[ast.stmt], i: int) -> None:
+        path = self.imports.resolve(call.func)
+        if path in _THREADING_FACTORIES:
+            if path == "threading.Thread":
+                self.spawns_threads = True
+            if path in _LOCK_FACTORIES:
+                self.uses_locks = True
+            return
+        if not isinstance(call.func, ast.Attribute):
+            return
+        attr = call.func.attr
+        receiver = call.func.value
+        if attr == "acquire" and _lockish_name(receiver):
+            self.acquires.append((call, self._guarded(body, i)))
+            return
+        if (
+            attr in _MUTATORS
+            and self._is_self_state(receiver)
+            and self._with_lock_depth == 0
+        ):
+            base = receiver
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            name = base.attr if isinstance(base, ast.Attribute) else "?"
+            self.mutations.append(
+                (call, self._method, f"call to self.{name}.{attr}()")
+            )
+
+    def _guarded(self, body: list[ast.stmt], i: int) -> bool:
+        """acquire() at body[i]: is body[i+1] a try with release() in finally?"""
+        if i + 1 >= len(body):
+            return False
+        nxt = body[i + 1]
+        if not isinstance(nxt, ast.Try) or not nxt.finalbody:
+            return False
+        for node in ast.walk(ast.Module(body=nxt.finalbody, type_ignores=[])):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+            ):
+                return True
+        return False
+
+
+@register
+class ConcurrencyChecker(Checker):
+    name = "concurrency"
+    codes = {
+        "RPR301": "unguarded shared-state mutation in a thread-spawning class",
+        "RPR302": "lock.acquire() without a guaranteed release",
+    }
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        assert src.tree is not None
+        imports = ImportMap(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, imports, node)
+
+    def _check_class(
+        self, src: SourceFile, imports: ImportMap, node: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        scan = _ClassScan(imports)
+        methods = [s for s in node.body if isinstance(s, ast.FunctionDef)]
+        for method in methods:
+            scan.scan_method(method)
+        # RPR302 applies to any lock user, threaded or not
+        for call, guarded in scan.acquires:
+            if not guarded:
+                yield src.diag(
+                    call, "RPR302",
+                    "acquire() without an immediate try/finally release(): "
+                    "an exception here deadlocks every waiter — use "
+                    "'with lock:' (or acquire(); try: ... finally: release())",
+                    self.name,
+                )
+        # RPR301 only fires when the class actually runs threads
+        if not scan.spawns_threads:
+            return
+        mutation_scan = _ClassScan(imports)
+        for method in methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            mutation_scan.scan_method(method)
+        for target, method, desc in mutation_scan.mutations:
+            yield src.diag(
+                target, "RPR301",
+                f"{node.name}.{method}: {desc} outside a lock in a "
+                f"class that spawns threads; guard it with the class "
+                f"lock or generation-namespace it "
+                f"(then suppress with justification)",
+                self.name,
+            )

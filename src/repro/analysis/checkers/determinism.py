@@ -1,0 +1,230 @@
+"""Determinism checker (RPR1xx).
+
+The engines promise bit-identical results across scalar / compiled /
+batched execution and across hosts (content-hash cached rows are
+shared).  Anything that injects ambient entropy into a result path
+breaks that promise silently:
+
+- ``RPR101`` — unseeded randomness: stdlib ``random`` module-level
+  functions (process-global hidden state), legacy ``numpy.random.*``
+  global functions, ``default_rng()`` / ``SeedSequence()`` without a
+  seed, ``secrets`` / ``uuid.uuid4``.
+- ``RPR102`` — wall-clock reads (``time.time``, ``datetime.now``,
+  ...) — ``perf_counter``/``monotonic`` duration *measurement* is fine
+  and not flagged.
+- ``RPR103`` — iterating a ``set`` (hash-order, salted per process by
+  ``PYTHONHASHSEED``) where order can reach results; wrap in
+  ``sorted(...)``.
+- ``RPR104`` — the builtin ``hash()`` — salted per process for
+  ``str``/``bytes``; cache keys and hashed payloads must use
+  ``hashlib``.
+
+Scoped to the result-producing subsystems (``pipeline``, ``training``,
+``cluster``, ``orchestrator``); files outside the package (tests,
+fixtures, scripts) are always checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.imports import ImportMap
+from repro.analysis.registry import Checker, register
+from repro.analysis.source import SourceFile
+
+#: stdlib ``random`` module-level functions backed by the hidden global
+#: Mersenne Twister (seeding it is also flagged: process-global state
+#: can be re-seeded by any other component)
+_STDLIB_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+#: legacy ``numpy.random`` global-state functions
+_NUMPY_LEGACY_FNS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "gumbel", "laplace", "logistic",
+    "lognormal", "multinomial", "multivariate_normal", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_integers", "random_sample", "ranf", "rayleigh", "sample",
+    "seed", "shuffle", "standard_normal", "uniform", "weibull",
+}
+
+_WALL_CLOCK = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.ctime": "time.ctime()",
+    "time.localtime": "time.localtime()",
+    "time.gmtime": "time.gmtime()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+}
+
+#: consumers for which element order cannot matter
+_ORDER_FREE_CALLS = {
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+}
+
+
+def _first_arg_is_seedless(call: ast.Call) -> bool:
+    if not call.args and not any(kw.arg in ("seed", "entropy") for kw in call.keywords):
+        return True
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    name = "determinism"
+    codes = {
+        "RPR101": "unseeded or global-state randomness in a result path",
+        "RPR102": "wall-clock read in a result path",
+        "RPR103": "iteration over a set (PYTHONHASHSEED-dependent order)",
+        "RPR104": "builtin hash() (salted per process) in a result path",
+    }
+    scope = (
+        "repro/pipeline/",
+        "repro/training/",
+        "repro/cluster/",
+        "repro/orchestrator/",
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        assert src.tree is not None
+        imports = ImportMap(src.tree)
+        # comprehensions whose *result* is consumed order-free
+        # (sorted(f(x) for x in some_set), sum(...), min(...)) are exempt:
+        # the set's iteration order cannot reach the final value
+        exempt: set[ast.AST] = set()
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_FREE_CALLS
+            ):
+                for arg in node.args:
+                    if isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+                        exempt.add(arg)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(src, imports, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_iter(src, imports, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                # SetComp output is itself unordered: building a set
+                # from a set is order-free and never flagged
+                if node not in exempt:
+                    for gen in node.generators:
+                        yield from self._check_iter(src, imports, gen.iter)
+
+    # -- RPR101 / RPR102 / RPR104 -----------------------------------------
+    def _check_call(
+        self, src: SourceFile, imports: ImportMap, call: ast.Call
+    ) -> Iterator[Diagnostic]:
+        if isinstance(call.func, ast.Name) and call.func.id == "hash":
+            yield src.diag(
+                call, "RPR104",
+                "builtin hash() is salted per process (PYTHONHASHSEED); "
+                "use hashlib for anything cached, compared, or exported",
+                self.name,
+            )
+            return
+        path = imports.resolve(call.func)
+        if path is None:
+            return
+        if path in _WALL_CLOCK:
+            yield src.diag(
+                call, "RPR102",
+                f"{_WALL_CLOCK[path]} reads the wall clock; results must "
+                "not depend on when they run (use simulated time, or "
+                "perf_counter/monotonic for pure duration measurement)",
+                self.name,
+            )
+            return
+        tail = path.rsplit(".", 1)[-1]
+        if path == f"random.{tail}" and tail in _STDLIB_RANDOM_FNS:
+            yield src.diag(
+                call, "RPR101",
+                f"random.{tail}() uses the process-global RNG; take a "
+                "seed or numpy Generator (repro.utils.rng.new_rng)",
+                self.name,
+            )
+        elif path == "random.Random" and _first_arg_is_seedless(call):
+            yield src.diag(
+                call, "RPR101",
+                "random.Random() without a seed draws OS entropy; pass a seed",
+                self.name,
+            )
+        elif path == f"numpy.random.{tail}" and tail in _NUMPY_LEGACY_FNS:
+            yield src.diag(
+                call, "RPR101",
+                f"numpy.random.{tail}() uses numpy's global state; use a "
+                "seeded numpy.random.Generator (repro.utils.rng.new_rng)",
+                self.name,
+            )
+        elif path in ("numpy.random.default_rng", "numpy.random.SeedSequence"):
+            if _first_arg_is_seedless(call):
+                yield src.diag(
+                    call, "RPR101",
+                    f"{tail}() without a seed draws OS entropy; pass an "
+                    "explicit seed so runs are reproducible",
+                    self.name,
+                )
+        elif path.startswith("secrets.") or path == "uuid.uuid4":
+            yield src.diag(
+                call, "RPR101",
+                f"{path}() is unseedable by design; results and cache "
+                "keys must come from seeded generators",
+                self.name,
+            )
+
+    # -- RPR103 -----------------------------------------------------------
+    def _is_setlike(self, imports: ImportMap, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set", "frozenset"
+            ):
+                return True
+            # set-returning set methods: a.union(b), a.intersection(b), ...
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union", "intersection", "difference", "symmetric_difference"
+            ):
+                return self._is_setlike(imports, node.func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_setlike(imports, node.left) or self._is_setlike(
+                imports, node.right
+            )
+        return False
+
+    def _check_iter(
+        self, src: SourceFile, imports: ImportMap, iter_expr: ast.expr
+    ) -> Iterator[Diagnostic]:
+        # unwrap order-preserving wrappers: enumerate(S), iter(S), ...
+        target = iter_expr
+        while (
+            isinstance(target, ast.Call)
+            and isinstance(target.func, ast.Name)
+            and target.func.id in ("enumerate", "iter", "reversed", "tuple", "list")
+            and target.args
+        ):
+            target = target.args[0]
+        if self._is_setlike(imports, target):
+            yield src.diag(
+                target, "RPR103",
+                "iterating a set: element order is hash order, salted per "
+                "process by PYTHONHASHSEED — wrap in sorted(...) before "
+                "the order can reach results or hashes",
+                self.name,
+            )

@@ -1,0 +1,289 @@
+"""API facade checker (RPR4xx).
+
+``repro.api`` / ``repro.__init__`` are the supported surface; deep
+imports are kept alive as deprecation shims.  Both promises rot
+silently: an ``__all__`` entry whose import was dropped only explodes
+on ``from repro import *`` (which no test runs), and a shim that stops
+warning — or warns without ``stacklevel`` — hides the migration path.
+
+- ``RPR401`` — ``__all__`` names a symbol the module never binds;
+- ``RPR402`` — a ``repro``-internal (or relative) ``from X import n``
+  where ``X`` resolves to a source file that does not bind ``n`` and
+  has no submodule ``n`` — a broken deep import / re-export;
+- ``RPR403`` — a function documented as deprecated that never emits a
+  ``DeprecationWarning`` — callers get no migration signal;
+- ``RPR404`` — ``warnings.warn(..., DeprecationWarning)`` without
+  ``stacklevel=`` — the warning points at the shim, not the caller.
+
+Cross-module resolution is purely static: the import is followed to
+its source file and that module's top-level bindings (defs, classes,
+assignments, imports, loop/with targets) are collected; a module with
+a ``*`` import conservatively resolves everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Checker, register
+from repro.analysis.source import SourceFile
+
+_DEPRECATION_CATEGORIES = {
+    "DeprecationWarning",
+    "PendingDeprecationWarning",
+    "FutureWarning",
+}
+
+
+def _category_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def module_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module top level, and whether a ``*`` import exists.
+
+    Recurses into ``if``/``try``/``for``/``with`` blocks (conditional
+    bindings count) but not into function or class bodies.
+    """
+    bound: set[str] = set()
+    has_star = False
+
+    def store_names(target: ast.expr) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+
+    def scan(body: list[ast.stmt]) -> None:
+        nonlocal has_star
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)  # body is its own scope: don't descend
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".", 1)[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    store_names(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                store_names(stmt.target)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                store_names(stmt.target)
+                scan(stmt.body)
+                scan(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        store_names(item.optional_vars)
+                scan(stmt.body)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                scan(stmt.body)
+                scan(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                scan(stmt.body)
+                for handler in stmt.handlers:
+                    if handler.name:
+                        bound.add(handler.name)
+                    scan(handler.body)
+                scan(stmt.orelse)
+                scan(stmt.finalbody)
+
+    scan(tree.body)
+    bound.discard("")
+    return bound, has_star
+
+
+@register
+class FacadeChecker(Checker):
+    name = "facade"
+    codes = {
+        "RPR401": "__all__ entry the module never binds",
+        "RPR402": "re-export or deep import of a symbol its module lacks",
+        "RPR403": "deprecated function that never emits DeprecationWarning",
+        "RPR404": "DeprecationWarning without stacklevel=",
+    }
+
+    def __init__(self) -> None:
+        self._module_cache: dict[Path, tuple[set[str], bool] | None] = {}
+
+    # -- module resolution -------------------------------------------------
+    def _package_root(self, path: Path) -> Path | None:
+        """Directory containing the top-level package of ``path``."""
+        cur = path.resolve().parent
+        root: Path | None = None
+        while (cur / "__init__.py").exists():
+            root = cur.parent
+            cur = cur.parent
+        return root
+
+    def _module_file(self, base: Path, parts: list[str]) -> Path | None:
+        candidate = base.joinpath(*parts)
+        if (candidate / "__init__.py").exists():
+            return candidate / "__init__.py"
+        py = candidate.with_suffix(".py")
+        return py if py.exists() else None
+
+    def _resolve_import(
+        self, src: SourceFile, node: ast.ImportFrom
+    ) -> tuple[Path | None, bool]:
+        """(target module file, attempted) for a checkable from-import."""
+        if node.level > 0:
+            base = src.path.resolve().parent
+            for _ in range(node.level - 1):
+                base = base.parent
+            parts = node.module.split(".") if node.module else []
+            return self._module_file(base, parts), True
+        if node.module and node.module.split(".", 1)[0] == "repro":
+            root = self._package_root(src.path)
+            if root is None:
+                return None, False
+            return self._module_file(root, node.module.split(".")), True
+        return None, False
+
+    def _bindings_of(self, file: Path) -> tuple[set[str], bool] | None:
+        if file in self._module_cache:
+            return self._module_cache[file]
+        try:
+            tree = ast.parse(file.read_text(encoding="utf-8"))
+            result: tuple[set[str], bool] | None = module_bindings(tree)
+        except (OSError, SyntaxError):
+            result = None
+        self._module_cache[file] = result
+        return result
+
+    # -- checks ------------------------------------------------------------
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        assert src.tree is not None
+        yield from self._check_all_and_imports(src)
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_deprecated(src, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_warn_call(src, node)
+
+    def _check_all_and_imports(self, src: SourceFile) -> Iterator[Diagnostic]:
+        assert src.tree is not None
+        bound, has_star = module_bindings(src.tree)
+        # RPR401: __all__ entries must be bound in this module
+        for stmt in src.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets
+                )
+                and isinstance(stmt.value, (ast.List, ast.Tuple))
+            ):
+                for elt in stmt.value.elts:
+                    if not (
+                        isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    ):
+                        continue
+                    if elt.value not in bound and not has_star:
+                        yield src.diag(
+                            elt, "RPR401",
+                            f"__all__ names {elt.value!r} but the module "
+                            f"never imports or defines it; "
+                            f"'from ... import *' would fail",
+                            self.name,
+                        )
+        # RPR402: repro-internal / relative from-imports must resolve
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            target, attempted = self._resolve_import(src, node)
+            if not attempted:
+                continue
+            if target is None:
+                mod = ("." * node.level) + (node.module or "")
+                yield src.diag(
+                    node, "RPR402",
+                    f"cannot find module {mod!r} relative to this file; "
+                    f"the import would fail at runtime",
+                    self.name,
+                )
+                continue
+            info = self._bindings_of(target)
+            if info is None:
+                continue
+            exported, star = info
+            if star:
+                continue
+            pkg_dir = target.parent if target.name == "__init__.py" else None
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.name in exported:
+                    continue
+                if pkg_dir is not None and (
+                    (pkg_dir / f"{alias.name}.py").exists()
+                    or (pkg_dir / alias.name / "__init__.py").exists()
+                ):
+                    continue  # importing a submodule of a package
+                yield src.diag(
+                    node, "RPR402",
+                    f"'from {('.' * node.level) + (node.module or '')} "
+                    f"import {alias.name}' — {target.name} does not "
+                    f"define {alias.name!r}; the re-export/deep import "
+                    f"is broken",
+                    self.name,
+                )
+
+    def _is_deprecation_warn(self, call: ast.Call) -> str | None:
+        """Category name if this is warnings.warn(..., <DeprecationLike>)."""
+        fn = call.func
+        is_warn = (isinstance(fn, ast.Attribute) and fn.attr == "warn") or (
+            isinstance(fn, ast.Name) and fn.id == "warn"
+        )
+        if not is_warn:
+            return None
+        for arg in list(call.args[1:2]) + [
+            kw.value for kw in call.keywords if kw.arg == "category"
+        ]:
+            name = _category_name(arg)
+            if name in _DEPRECATION_CATEGORIES:
+                return name
+        return None
+
+    def _check_deprecated(
+        self, src: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        doc = ast.get_docstring(node) or ""
+        first_line = doc.splitlines()[0].lower() if doc else ""
+        if "deprecated" not in first_line:
+            return
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call) and self._is_deprecation_warn(inner):
+                return
+        yield src.diag(
+            node, "RPR403",
+            f"{node.name} is documented as deprecated but never emits a "
+            f"DeprecationWarning; callers get no migration signal",
+            self.name,
+        )
+
+    def _check_warn_call(
+        self, src: SourceFile, call: ast.Call
+    ) -> Iterator[Diagnostic]:
+        if self._is_deprecation_warn(call) is None:
+            return
+        if not any(kw.arg == "stacklevel" for kw in call.keywords):
+            yield src.diag(
+                call, "RPR404",
+                "DeprecationWarning without stacklevel=: the warning "
+                "blames the shim, not the caller that must migrate "
+                "(use stacklevel=2)",
+                self.name,
+            )

@@ -1,0 +1,266 @@
+"""Spec-hash / serialization completeness checker (RPR2xx).
+
+The result cache is keyed by ``RunSpec.spec_hash``; a field that exists
+on the dataclass but never reaches the hash payload means two *different*
+runs share a cache entry — the classic "added a field, forgot to hash
+it" corruption.  The same shape of bug hits any dataclass whose
+``to_dict`` round-trips through the cache or a trace file: a field the
+serializer drops is silently reset on reload.
+
+For every ``@dataclass`` this checker computes which fields its
+serializer provably covers:
+
+- ``asdict(self)`` / ``dataclasses.asdict(self)`` / ``self.to_dict()``
+  (resolved through the class's own ``to_dict``) cover *all* fields by
+  construction — including nested dataclasses, which ``asdict``
+  recurses into;
+- an explicit ``{"a": self.a, ...}`` / ``dict(a=self.a, ...)`` payload
+  covers exactly its literal keys, plus any later ``d["k"] = ...``
+  subscript stores on the returned name (conditional branches count:
+  a key that is only present when meaningful is canonical, not lossy).
+
+Codes:
+
+- ``RPR201`` — field missing from a content-hash payload;
+- ``RPR202`` — hash payload key that is not a field (stale key: hashes
+  a value the dataclass no longer carries);
+- ``RPR203`` — field missing from a ``to_dict`` serializer on a
+  round-trip class (one with ``from_dict``): the cache / trace
+  round-trip silently drops it.  One-way summary exports (no
+  ``from_dict``) may drop or rename fields freely;
+- ``RPR204`` — hash payload too dynamic to verify statically (build it
+  from ``to_dict()`` / ``asdict`` so completeness is checkable).
+
+Hash methods are found by name (``*hash*`` properties/methods); meta
+keys starting with ``_`` (schema versions, code versions) are expected
+extras and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Checker, register
+from repro.analysis.source import SourceFile
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_names(node: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _field_names(node: ast.ClassDef) -> list[str]:
+    """Declared dataclass fields (ClassVar / InitVar excluded)."""
+    out = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        if _annotation_names(stmt.annotation) & {"ClassVar", "InitVar"}:
+            continue
+        out.append(stmt.target.id)
+    return out
+
+
+def _is_asdict_self(node: ast.expr) -> bool:
+    """``asdict(self)`` or ``dataclasses.asdict(self)``."""
+    if not (isinstance(node, ast.Call) and node.args):
+        return False
+    fn = node.func
+    named_asdict = (isinstance(fn, ast.Name) and fn.id == "asdict") or (
+        isinstance(fn, ast.Attribute) and fn.attr == "asdict"
+    )
+    arg = node.args[0]
+    return named_asdict and isinstance(arg, ast.Name) and arg.id == "self"
+
+
+def _is_self_to_dict(node: ast.expr) -> bool:
+    """``self.to_dict()``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "to_dict"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "self"
+    )
+
+
+@dataclass
+class Coverage:
+    """Which keys a serializer provably emits."""
+
+    #: "all" = complete by construction, "explicit" = exactly ``keys``,
+    #: "unknown" = could not be resolved
+    kind: str
+    keys: set[str]
+    #: True when coverage chains through self.to_dict() (resolve later)
+    via_to_dict: bool = False
+
+
+def _payload_coverage(fn: ast.FunctionDef) -> Coverage:
+    """Coverage of the dict a serializer/hash method builds.
+
+    Resolves the first payload-shaped construct in evaluation order —
+    a dict display, a ``dict(...)`` call, ``asdict(self)`` or
+    ``self.to_dict()`` — then folds in every ``name[key] = ...``
+    subscript store anywhere in the method (conditional adds count).
+    """
+    subscript_keys: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Subscript)
+            and isinstance(node.targets[0].slice, ast.Constant)
+            and isinstance(node.targets[0].slice.value, str)
+        ):
+            subscript_keys.add(node.targets[0].slice.value)
+
+    def resolve(node: ast.expr) -> Coverage | None:
+        if _is_asdict_self(node):
+            return Coverage("all", set())
+        if _is_self_to_dict(node):
+            return Coverage("all", set(), via_to_dict=True)
+        if isinstance(node, ast.Dict):
+            keys: set[str] = set()
+            base: Coverage | None = None
+            for k, v in zip(node.keys, node.values):
+                if k is None:  # {**base, ...}
+                    base = resolve(v)
+                elif isinstance(k, ast.Constant) and isinstance(k.value, str):
+                    keys.add(k.value)
+                else:
+                    return Coverage("unknown", set())
+            if base is not None and base.kind != "unknown":
+                return Coverage(base.kind, base.keys | keys, base.via_to_dict)
+            if base is not None:
+                return Coverage("unknown", set())
+            return Coverage("explicit", keys)
+        if isinstance(node, ast.Call):
+            fn_expr = node.func
+            if isinstance(fn_expr, ast.Name) and fn_expr.id == "dict":
+                kw_keys = {kw.arg for kw in node.keywords if kw.arg is not None}
+                if any(kw.arg is None for kw in node.keywords):
+                    return Coverage("unknown", set())
+                if node.args:
+                    base = resolve(node.args[0])
+                    if base is None or base.kind == "unknown":
+                        return Coverage("unknown", set())
+                    return Coverage(base.kind, base.keys | kw_keys, base.via_to_dict)
+                return Coverage("explicit", kw_keys)
+        return None
+
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Return, ast.Assign)):
+            value = node.value
+            if value is None:
+                continue
+            cov = resolve(value)
+            if cov is not None:
+                cov.keys |= subscript_keys
+                return cov
+    return Coverage("unknown", set())
+
+
+@register
+class SpecHashChecker(Checker):
+    name = "spec-hash"
+    codes = {
+        "RPR201": "dataclass field missing from its content-hash payload",
+        "RPR202": "content-hash payload key that is not a dataclass field",
+        "RPR203": "dataclass field missing from its to_dict serializer",
+        "RPR204": "content-hash payload not statically verifiable",
+    }
+    scope = (
+        "repro/orchestrator/",
+        "repro/cluster/",
+        "repro/training/",
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        assert src.tree is not None
+        for node in src.tree.body:
+            if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+                yield from self._check_class(src, node)
+
+    def _methods(self, node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+        return {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+
+    def _check_class(
+        self, src: SourceFile, node: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        fields = _field_names(node)
+        if not fields:
+            return
+        methods = self._methods(node)
+        to_dict = methods.get("to_dict")
+        to_dict_cov = _payload_coverage(to_dict) if to_dict is not None else None
+
+        # RPR203: explicit to_dict must name every field — but only for
+        # round-trip classes (a from_dict exists); one-way summary
+        # exports are allowed to drop or rename fields
+        if to_dict is not None and to_dict_cov is not None:
+            if to_dict_cov.kind == "explicit" and "from_dict" in methods:
+                for missing in sorted(set(fields) - to_dict_cov.keys):
+                    yield src.diag(
+                        to_dict, "RPR203",
+                        f"{node.name}.{missing} is not serialized by "
+                        f"to_dict(); a cache or trace round-trip silently "
+                        f"drops it",
+                        self.name,
+                    )
+
+        # RPR201/202/204: the content-hash payload
+        hash_methods = [m for name, m in methods.items() if "hash" in name]
+        for hm in hash_methods:
+            cov = _payload_coverage(hm)
+            if cov.via_to_dict and to_dict_cov is not None:
+                # chain through the class's own to_dict coverage
+                chained_keys = cov.keys | to_dict_cov.keys
+                cov = Coverage(to_dict_cov.kind, chained_keys)
+            elif cov.via_to_dict:
+                cov = Coverage("unknown", set())
+            if cov.kind == "all":
+                continue
+            if cov.kind == "unknown":
+                yield src.diag(
+                    hm, "RPR204",
+                    f"{node.name}.{hm.name} builds its hash payload in a "
+                    f"way this checker cannot verify; derive it from "
+                    f"to_dict()/asdict(self) so field completeness is "
+                    f"machine-checked",
+                    self.name,
+                )
+                continue
+            for missing in sorted(set(fields) - cov.keys):
+                yield src.diag(
+                    hm, "RPR201",
+                    f"{node.name}.{missing} is not folded into "
+                    f"{hm.name}; two specs differing only in "
+                    f"{missing!r} would share a cache entry",
+                    self.name,
+                )
+            for extra in sorted(cov.keys - set(fields)):
+                if not extra.startswith("_"):
+                    yield src.diag(
+                        hm, "RPR202",
+                        f"{hm.name} hashes key {extra!r} which is not a "
+                        f"field of {node.name} (stale key?)",
+                        self.name,
+                    )

@@ -1,0 +1,49 @@
+"""Resolve names and attribute chains to canonical dotted paths.
+
+Checkers need to know that ``np.random.rand`` *is*
+``numpy.random.rand`` regardless of how the module was imported
+(``import numpy as np``, ``from numpy import random as npr``, ...).
+:class:`ImportMap` records the module-level import bindings of one
+file and rewrites attribute chains through them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Module-level import aliases: local name -> canonical dotted path."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    # `import a.b` binds `a`; `import a.b as c` binds c -> a.b
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.aliases.get(cur.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))

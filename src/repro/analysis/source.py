@@ -1,0 +1,150 @@
+"""Parsed source files and ``# repro: ignore[CODE]`` suppressions.
+
+A :class:`SourceFile` wraps one Python file: its text, its parsed AST
+(parse failures surface as an ``RPR001`` diagnostic, not a crash), and
+the per-line suppression table.
+
+Suppression syntax::
+
+    x = noisy_call()  # repro: ignore[RPR101] — seeded upstream
+    # repro: ignore[RPR102, RPR104]
+    y = wall_clock_and_hash()
+
+A suppression applies to diagnostics anchored on its own line, or — for
+a comment-only line — on the line directly below, so long statements
+can keep their justification above them.  The bracket list is
+mandatory: a bare ``# repro: ignore`` would hide future checkers'
+findings, so it is rejected with ``RPR002``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]*)\])?")
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class SourceFile:
+    """One file under analysis: text, AST, and suppression table."""
+
+    path: Path
+    display: str
+    text: str
+    tree: ast.Module | None = None
+    #: line -> codes suppressed on that line
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: parse / malformed-suppression findings emitted by the framework
+    errors: list[Diagnostic] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, display: str | None = None) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        return cls.parse(text, display or str(path), path)
+
+    @classmethod
+    def parse(
+        cls, text: str, display: str, path: Path | None = None
+    ) -> "SourceFile":
+        src = cls(path=path or Path(display), display=display, text=text)
+        try:
+            src.tree = ast.parse(text, filename=display)
+        except SyntaxError as exc:
+            src.errors.append(
+                Diagnostic(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    code="RPR001",
+                    message=f"syntax error: {exc.msg}",
+                    checker="framework",
+                )
+            )
+            return src
+        src._scan_suppressions()
+        return src
+
+    # -- suppressions -----------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        """Build the line -> suppressed-codes table from comment tokens."""
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError):  # already parsed: unlikely
+            tokens = []
+        comment_only: set[int] = set()
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _IGNORE_RE.search(tok.string)
+            if m is None:
+                continue
+            line = tok.start[0]
+            if m.group(1) is None:
+                self.errors.append(
+                    Diagnostic(
+                        path=self.display,
+                        line=line,
+                        col=tok.start[1] + 1,
+                        code="RPR002",
+                        message=(
+                            "blanket '# repro: ignore' is not allowed; "
+                            "name the codes: ignore[RPR101]"
+                        ),
+                        checker="framework",
+                    )
+                )
+                continue
+            codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+            bad = sorted(c for c in codes if not _CODE_RE.match(c))
+            if bad or not codes:
+                self.errors.append(
+                    Diagnostic(
+                        path=self.display,
+                        line=line,
+                        col=tok.start[1] + 1,
+                        code="RPR002",
+                        message=(
+                            f"malformed suppression codes {bad or '[]'}; "
+                            "expected e.g. ignore[RPR101, RPR104]"
+                        ),
+                        checker="framework",
+                    )
+                )
+                continue
+            self.suppressions.setdefault(line, set()).update(codes)
+            # a comment-only line also covers the line below it
+            stripped = self.lines[line - 1].strip() if line <= len(self.lines) else ""
+            if stripped.startswith("#"):
+                comment_only.add(line)
+        for line in comment_only:
+            self.suppressions.setdefault(line + 1, set()).update(
+                self.suppressions[line]
+            )
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def suppressed(self, diag: Diagnostic) -> bool:
+        return diag.code in self.suppressions.get(diag.line, set())
+
+    # -- helpers for checkers --------------------------------------------
+    def diag(
+        self, node: ast.AST, code: str, message: str, checker: str = ""
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+            checker=checker,
+        )

@@ -28,7 +28,12 @@ from repro.orchestrator.ensemble import (
     run_ensemble,
 )
 from repro.orchestrator.results import RunRecord
-from repro.orchestrator.runner import ExecutionPolicy, SweepRunner, execute_spec
+from repro.orchestrator.runner import (
+    ExecutionPolicy,
+    ProgressFn,
+    SweepRunner,
+    execute_spec,
+)
 from repro.orchestrator.spec import RunSpec
 
 __all__ = [
@@ -44,7 +49,9 @@ __all__ = [
 ]
 
 
-def _as_cache(cache: ResultCache | str | os.PathLike | None) -> ResultCache | None:
+def _as_cache(
+    cache: ResultCache | str | os.PathLike[str] | None,
+) -> ResultCache | None:
     if cache is None or isinstance(cache, ResultCache):
         return cache
     return ResultCache(cache)
@@ -66,8 +73,8 @@ def sweep(
     specs: Sequence[RunSpec],
     policy: ExecutionPolicy | None = None,
     *,
-    cache: ResultCache | str | os.PathLike | None = None,
-    progress=None,
+    cache: ResultCache | str | os.PathLike[str] | None = None,
+    progress: ProgressFn | None = None,
     refresh: bool = False,
 ) -> list[RunRecord]:
     """Run many specs through a :class:`SweepRunner`.
@@ -93,8 +100,8 @@ def ensemble(
     *,
     distribution: TraceDistribution | None = None,
     seed0: int = 0,
-    cache: ResultCache | str | os.PathLike | None = None,
-    progress=None,
+    cache: ResultCache | str | os.PathLike[str] | None = None,
+    progress: ProgressFn | None = None,
     refresh: bool = False,
 ) -> EnsembleResult:
     """Monte-Carlo fault ensemble: N sampled traces per base spec.

@@ -408,6 +408,36 @@ def cmd_events(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static analysis: determinism / cache-soundness / concurrency / facade."""
+    from repro.analysis import all_codes, lint_paths
+
+    if args.list_codes:
+        for code, description in all_codes().items():
+            print(f"{code}  {description}")
+        return 0
+    selected = set(args.select or [])
+    known = set(all_codes())
+    unknown = sorted(selected - known)
+    if unknown:
+        raise SystemExit(f"unknown lint codes: {', '.join(unknown)}")
+    select = (lambda code: code in selected) if selected else None
+    try:
+        report = lint_paths(args.paths, select)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"wrote {args.json}")
+    print(report.format_text())
+    if args.show_suppressed and report.suppressions_used:
+        for path, line, code in report.suppressions_used:
+            print(f"suppressed {code} at {path}:{line}")
+    return 0 if report.ok else 1
+
+
 def cmd_gantt(args) -> int:
     from repro.baselines.megatron import megatron_uniform_plan
     from repro.core import PartitionBalancer
@@ -598,6 +628,25 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--straggle-ranks", type=int, nargs="+", default=[])
     pe.add_argument("--straggle-at", type=int, default=None, metavar="ITER")
     pe.set_defaults(fn=cmd_events)
+
+    pl = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, spec-hash completeness, "
+             "SimWorld concurrency, API facade (exit 1 on findings)",
+    )
+    pl.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    pl.add_argument("--json", default=None, metavar="FILE",
+                    help="write the JSON report to this file (CI artifact)")
+    pl.add_argument("--select", nargs="+", default=None, metavar="CODE",
+                    help="only report these codes (e.g. RPR101 RPR201)")
+    pl.add_argument("--list-codes", action="store_true",
+                    help="print every checker code and exit")
+    pl.add_argument("--show-suppressed", action="store_true",
+                    help="also list applied '# repro: ignore' suppressions")
+    pl.set_defaults(fn=cmd_lint)
 
     pg = sub.add_parser("gantt", help="render one iteration as ASCII Gantt")
     _add_common(pg)

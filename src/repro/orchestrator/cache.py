@@ -20,7 +20,7 @@ from repro.orchestrator.spec import RunSpec
 
 
 class ResultCache:
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 

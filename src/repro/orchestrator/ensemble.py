@@ -27,12 +27,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.cluster.events import ClusterEventTrace
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.results import RunRecord
-from repro.orchestrator.runner import ExecutionPolicy, SweepRunner
+from repro.orchestrator.runner import ExecutionPolicy, ProgressFn, SweepRunner
 from repro.orchestrator.spec import RunSpec
 
 
@@ -67,7 +67,7 @@ class TraceDistribution:
             straggler_slowdown=self.straggler_slowdown,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
 
@@ -103,7 +103,7 @@ def sample_specs(
         raise ValueError(f"ensemble size must be positive, got {n}")
     dist = distribution or TraceDistribution()
     ranks = base.pp_stages * base.dp_ways
-    specs = []
+    specs: list[RunSpec] = []
     for i in range(n):
         trace = dist.sample(base.iterations, ranks, seed0 + i)
         specs.append(base.with_(cluster_events=trace.to_json() if trace else ""))
@@ -131,13 +131,13 @@ class EnsembleStats:
     #: (iteration, fraction of runs at their full stage count)
     survivability: list[tuple[int, float]] = field(default_factory=list)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         d = asdict(self)
         d["recovery_cost_cdf"] = [[float(v), float(p)] for v, p in self.recovery_cost_cdf]
         d["survivability"] = [[int(k), float(p)] for k, p in self.survivability]
         return d
 
-    def row(self) -> dict:
+    def row(self) -> dict[str, Any]:
         """Flat scalar row for the CLI table / CSV."""
         surv_end = self.survivability[-1][1] if self.survivability else float("nan")
         return {
@@ -174,7 +174,7 @@ class EnsembleResult:
     def full_cache_hit(self) -> bool:
         return self.num_unique > 0 and self.num_cached == self.num_unique
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "n": self.n,
             "seed0": self.seed0,
@@ -212,7 +212,7 @@ def _group_stats(
         full = int(
             ok[0].metrics.get("effective_pp_stages", full_stages_fallback)
         )
-        histories = []
+        histories: list[list[tuple[int, int]]] = []
         for r in ok:
             hist = [(int(k), int(s)) for k, s in r.metrics["stage_count_history"]]
             histories.append(hist)
@@ -253,7 +253,7 @@ def run_ensemble(
     distribution: TraceDistribution | None = None,
     seed0: int = 0,
     cache: ResultCache | None = None,
-    progress=None,
+    progress: ProgressFn | None = None,
     refresh: bool = False,
 ) -> EnsembleResult:
     """Sample N traces per base spec, run them, summarise distributions.
@@ -286,7 +286,7 @@ def run_ensemble(
         records = runner.run(specs)
     by_hash = {r.spec_hash: r for r in records}
 
-    stats = []
+    stats: list[EnsembleStats] = []
     for g, base in enumerate(base_list):
         label = f"{base.scenario}/{base.mode}/{base.schedule}"
         per_draw = [by_hash[spec.spec_hash] for gg, spec in draws if gg == g]

@@ -13,7 +13,7 @@ import csv
 import json
 import os
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.orchestrator.results import RECORD_SCHEMA_VERSION, RunRecord
 
@@ -35,13 +35,13 @@ _ROW_METRICS = (
 )
 
 
-def _format_ranks(ranks) -> str:
+def _format_ranks(ranks: Iterable[object]) -> str:
     return "-".join(str(r) for r in ranks)
 
 
-def record_row(record: RunRecord) -> dict:
+def record_row(record: RunRecord) -> dict[str, Any]:
     """Flatten one record into a table/CSV row."""
-    row = {"spec_hash": record.spec_hash}
+    row: dict[str, Any] = {"spec_hash": record.spec_hash}
     row.update(record.spec.to_dict())
     row["status"] = record.status
     row["cached"] = record.cached
@@ -59,43 +59,47 @@ def record_row(record: RunRecord) -> dict:
     return row
 
 
-def records_to_rows(records: Sequence[RunRecord]) -> list[dict]:
+def records_to_rows(records: Sequence[RunRecord]) -> list[dict[str, Any]]:
     return [record_row(r) for r in records]
 
 
-def write_json(records: Sequence[RunRecord], path: str | os.PathLike) -> Path:
+def write_json(
+    records: Sequence[RunRecord], path: str | os.PathLike[str]
+) -> Path:
     """Full-fidelity export: specs, hashes, metrics, histories."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "schema": RECORD_SCHEMA_VERSION,
         "count": len(records),
         "records": [r.to_dict() for r in records],
     }
-    with path.open("w", encoding="utf-8") as fh:
+    with out.open("w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    return path
+    return out
 
 
-def write_csv(records: Sequence[RunRecord], path: str | os.PathLike) -> Path:
+def write_csv(
+    records: Sequence[RunRecord], path: str | os.PathLike[str]
+) -> Path:
     """Flat scalar export, one row per run."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
     rows = records_to_rows(records)
     columns: list[str] = []
     for row in rows:
         for key in row:
             if key not in columns:
                 columns.append(key)
-    with path.open("w", encoding="utf-8", newline="") as fh:
+    with out.open("w", encoding="utf-8", newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=columns)
         writer.writeheader()
         writer.writerows(rows)
-    return path
+    return out
 
 
-def read_json(path: str | os.PathLike) -> list[RunRecord]:
+def read_json(path: str | os.PathLike[str]) -> list[RunRecord]:
     with Path(path).open("r", encoding="utf-8") as fh:
         payload = json.load(fh)
     return [RunRecord.from_dict(d) for d in payload.get("records", [])]

@@ -11,6 +11,7 @@ compare exactly across serial and parallel execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.orchestrator.spec import RunSpec
 
@@ -30,13 +31,13 @@ class RunRecord:
     cached: bool = False
     error: str | None = None
     error_type: str | None = None
-    metrics: dict = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
-    def unwrap(self) -> dict:
+    def unwrap(self) -> dict[str, Any]:
         """Return the metrics, raising :class:`SweepError` on failure."""
         if not self.ok:
             raise SweepError(
@@ -45,7 +46,7 @@ class RunRecord:
             )
         return self.metrics
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "schema": RECORD_SCHEMA_VERSION,
             "spec": self.spec.to_dict(),
@@ -59,7 +60,7 @@ class RunRecord:
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "RunRecord":
+    def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
         return cls(
             spec=RunSpec.from_dict(d["spec"]),
             spec_hash=d["spec_hash"],
@@ -72,7 +73,7 @@ class RunRecord:
         )
 
 
-def result_metrics(res) -> dict:
+def result_metrics(res: Any) -> dict[str, Any]:
     """Flatten a ``TrainingResult`` into JSON-clean metrics."""
     return {
         "total_time_s": float(res.total_time_s),

@@ -45,7 +45,8 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from types import FrameType
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.results import RunRecord, result_metrics
@@ -124,7 +125,7 @@ class SweepTimeout(Exception):
 
 
 @contextmanager
-def _deadline(seconds: float | None):
+def _deadline(seconds: float | None) -> Iterator[bool]:
     """Arm a SIGALRM deadline; yields True when actually armed.
 
     The alarm only works on the main thread of a platform with
@@ -140,7 +141,7 @@ def _deadline(seconds: float | None):
         yield False
         return
 
-    def _handler(signum, frame):
+    def _handler(signum: int, frame: FrameType | None) -> None:
         raise SweepTimeout(f"exceeded {seconds:.0f}s budget")
 
     old = signal.signal(signal.SIGALRM, _handler)
@@ -152,7 +153,7 @@ def _deadline(seconds: float | None):
         signal.signal(signal.SIGALRM, old)
 
 
-def _spec_scenario_and_trainer(spec: RunSpec):
+def _spec_scenario_and_trainer(spec: RunSpec) -> tuple[Any, Any]:
     """Build the scenario and (unrun) Trainer a spec describes."""
     # deferred: repro.experiments imports repro.orchestrator for the
     # figure drivers, so importing it at module level would be circular
@@ -201,7 +202,7 @@ def _spec_scenario_and_trainer(spec: RunSpec):
     return setup, trainer
 
 
-def _spec_metrics(setup, result) -> dict:
+def _spec_metrics(setup: Any, result: Any) -> dict[str, Any]:
     metrics = result_metrics(result)
     # effective shape (build_scenario may widen the pipeline, e.g. MoE)
     metrics["effective_pp_stages"] = setup.pp_stages
@@ -210,7 +211,7 @@ def _spec_metrics(setup, result) -> dict:
     return metrics
 
 
-def _run_spec(spec: RunSpec) -> dict:
+def _run_spec(spec: RunSpec) -> dict[str, Any]:
     setup, trainer = _spec_scenario_and_trainer(spec)
     return _spec_metrics(setup, trainer.run())
 
@@ -388,7 +389,7 @@ class SweepRunner:
     def __enter__(self) -> "SweepRunner":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def run(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
@@ -487,7 +488,7 @@ class SweepRunner:
         """
         from repro.training.lockstep import LockstepTimeout, run_trainers_lockstep
 
-        bins: dict[tuple, list[tuple[int, RunSpec, object, object]]] = {}
+        bins: dict[tuple[Any, ...], list[tuple[int, RunSpec, Any, Any]]] = {}
         for i, spec in pending:
             if spec.repack or spec.elastic_total_gpus is not None:
                 # execute_spec arms SIGALRM when possible and otherwise

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, fields, replace
+from typing import Any
 
 import repro
 
@@ -74,15 +75,15 @@ class RunSpec:
     paper_scale: bool = False
     tag: str = ""
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, d: dict) -> "RunSpec":
+    def from_dict(cls, d: dict[str, Any]) -> "RunSpec":
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in d.items() if k in known})
 
-    def with_(self, **kwargs) -> "RunSpec":
+    def with_(self, **kwargs: Any) -> "RunSpec":
         return replace(self, **kwargs)
 
     @property

@@ -1,0 +1,33 @@
+"""Concurrency-checker positives."""
+
+import threading
+
+
+class RacyWorld:
+    """Spawns threads, mutates shared state with no lock."""
+
+    def __init__(self):
+        self.inbox = {}
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def start(self):
+        t = threading.Thread(target=self._run)
+        t.start()
+
+    def _run(self):
+        self.count += 1  # RPR301: augmented assignment outside lock
+        self.inbox["msg"] = 1  # RPR301: subscript store outside lock
+        self.pending = []  # RPR301: attribute assignment outside lock
+        self.pending.append(0)  # RPR301: mutating call outside lock
+
+
+class LeakyLock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = 0
+
+    def poke(self):
+        self._lock.acquire()  # RPR302: no try/finally release
+        self.state += 1
+        self._lock.release()

@@ -1,0 +1,46 @@
+"""Concurrency-checker negatives."""
+
+import threading
+
+
+class GuardedWorld:
+    """Same shape as RacyWorld but every mutation is lock-guarded."""
+
+    def __init__(self):
+        self.inbox = {}  # __init__ runs before the object is shared
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def start(self):
+        t = threading.Thread(target=self._run)
+        t.start()
+
+    def _run(self):
+        with self._lock:
+            self.count += 1
+            self.inbox["msg"] = 1
+            self.inbox.setdefault("other", []).append(0)
+
+
+class CarefulAcquire:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = 0
+
+    def poke(self):
+        self._lock.acquire()
+        try:
+            self.state += 1
+        finally:
+            self._lock.release()
+
+
+class PlainDataHolder:
+    """No threads anywhere: free to mutate without locks."""
+
+    def __init__(self):
+        self.items = []
+
+    def add(self, x):
+        self.items.append(x)
+        self.total = sum(self.items)

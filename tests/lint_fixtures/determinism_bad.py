@@ -1,0 +1,39 @@
+"""Determinism-checker positives: every statement here must be flagged."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def draw():
+    return random.random()  # RPR101: process-global Mersenne Twister
+
+
+def draw_np():
+    return np.random.uniform()  # RPR101: numpy global state
+
+
+def make_rng():
+    return np.random.default_rng()  # RPR101: unseeded
+
+
+def stamp():
+    return time.time()  # RPR102: wall clock
+
+
+def stamp2():
+    return datetime.now()  # RPR102: wall clock
+
+
+def iterate(s):
+    out = []
+    for item in {1, 2, 3}:  # RPR103: set iteration order
+        out.append(item)
+    out.extend(x for x in set(s))  # RPR103: comprehension over a set
+    return out
+
+
+def key(spec):
+    return hash(spec)  # RPR104: salted builtin hash

@@ -1,0 +1,34 @@
+"""Determinism-checker negatives: nothing here may be flagged."""
+
+import hashlib
+import random
+import time
+
+import numpy as np
+
+
+def draw(seed):
+    return random.Random(seed).random()  # seeded instance, not global
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)  # explicitly seeded
+
+
+def measure():
+    t0 = time.perf_counter()  # duration measurement is fine
+    time.monotonic()
+    return time.perf_counter() - t0
+
+
+def iterate(s):
+    out = []
+    for item in sorted({1, 2, 3}):  # sorted() pins the order
+        out.append(item)
+    total = sum(x for x in set(s))  # order-free consumer
+    low = min(x for x in set(s))
+    return out, total, low, {x * 2 for x in set(s)}  # set-from-set
+
+
+def key(spec):
+    return hashlib.blake2b(repr(spec).encode()).hexdigest()

@@ -1,0 +1,28 @@
+"""Facade-checker fixture package: every rot mode in one facade."""
+
+import warnings
+
+from .mod import present  # resolves: clean
+from .mod import vanished  # RPR402: mod.py no longer defines 'vanished'
+
+__all__ = [
+    "present",
+    "vanished",
+    "never_imported",  # RPR401: named but never bound here
+    "old_entry_point",
+]
+
+
+def old_entry_point():
+    """Deprecated: use present() instead."""
+    # RPR403: documented deprecated, never warns
+    return present()
+
+
+def older_entry_point():
+    """Deprecated: use present() instead."""
+    warnings.warn(
+        "older_entry_point() is deprecated; use present()",
+        DeprecationWarning,  # RPR404: no stacklevel
+    )
+    return present()

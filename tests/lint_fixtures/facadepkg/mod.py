@@ -1,0 +1,8 @@
+"""Implementation module for the facade fixture."""
+
+
+def present():
+    return "present"
+
+
+# 'vanished' was removed in a refactor; __init__.py still re-exports it.

@@ -1,0 +1,17 @@
+"""Healthy facade: everything resolves, shims warn with stacklevel."""
+
+import warnings
+
+from .mod import present
+
+__all__ = ["present", "old_entry_point"]
+
+
+def old_entry_point():
+    """Deprecated: use present() instead."""
+    warnings.warn(
+        "old_entry_point() is deprecated; use present()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return present()

@@ -1,0 +1,58 @@
+"""Spec-hash-checker positives."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ForgotToHash:
+    """A RunSpec-like spec whose newest field never reaches the hash."""
+
+    layers: int
+    stages: int
+    new_knob: float  # added later, never folded into spec_hash
+
+    @property
+    def spec_hash(self) -> str:
+        payload = {"layers": self.layers, "stages": self.stages}  # RPR201
+        raw = json.dumps(payload, sort_keys=True)
+        return hashlib.blake2b(raw.encode(), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class StaleKey:
+    layers: int
+
+    @property
+    def spec_hash(self) -> str:
+        # RPR201 (layers missing) + RPR202 ('removed_field' is stale)
+        payload = {"removed_field": 0}
+        return hashlib.blake2b(json.dumps(payload).encode()).hexdigest()
+
+
+@dataclass
+class LossyRoundTrip:
+    a: int
+    b: int
+    c: int
+
+    def to_dict(self):
+        return {"a": self.a, "b": self.b}  # RPR203: drops c, has from_dict
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(a=d["a"], b=d["b"], c=0)
+
+
+@dataclass
+class Unverifiable:
+    a: int
+
+    def content_hash(self) -> str:
+        payload = _build_payload(self)  # RPR204: opaque helper
+        return hashlib.blake2b(repr(payload).encode()).hexdigest()
+
+
+def _build_payload(obj):
+    return {"a": obj.a}

@@ -1,0 +1,68 @@
+"""Spec-hash-checker negatives: complete payloads, one-way exports."""
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class CompleteByConstruction:
+    layers: int
+    stages: int
+    new_knob: float
+
+    def to_dict(self):
+        return asdict(self)  # covers every field, present and future
+
+    @property
+    def spec_hash(self) -> str:
+        payload = dict(self.to_dict(), _schema=1)  # meta keys are fine
+        raw = json.dumps(payload, sort_keys=True)
+        return hashlib.blake2b(raw.encode(), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExplicitButComplete:
+    a: int
+    b: int
+
+    def to_dict(self):
+        return {"a": self.a, "b": self.b}
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(**d)
+
+    @property
+    def spec_hash(self) -> str:
+        payload = self.to_dict()  # chains through explicit to_dict coverage
+        return hashlib.blake2b(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+
+
+@dataclass
+class OneWaySummary:
+    """No from_dict: a summary export may rename and drop fields."""
+
+    records: list
+    stats: dict
+
+    def to_dict(self):
+        return {"groups": self.stats}  # intentional: records dropped
+
+
+@dataclass
+class ConditionalKeys:
+    kind: str
+    duration: float
+
+    def to_dict(self):
+        d = {"kind": self.kind}
+        if self.kind == "straggler":
+            d["duration"] = self.duration  # conditional stores count
+        return d
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(kind=d["kind"], duration=d.get("duration", 0.0))

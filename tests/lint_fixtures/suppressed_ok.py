@@ -1,0 +1,13 @@
+"""Suppression forms that must lint clean (2 suppressions applied)."""
+
+import time
+
+
+def in_process_tag(obj):
+    # same-line suppression with justification
+    return hash(obj)  # repro: ignore[RPR104] — never cached or exported
+
+
+def wall_clock_log_line():
+    # repro: ignore[RPR102] — log decoration only, not a result path
+    return time.time()

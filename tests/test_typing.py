@@ -1,0 +1,33 @@
+"""Gated mypy --strict check over the typed island.
+
+The container used for day-to-day development does not ship mypy (and
+the project must not require installing it), so this test skips when
+the module is absent; CI installs mypy and runs the same configuration
+as a required job, so a strict-typing regression in
+``src/repro/orchestrator`` or ``src/repro/api.py`` still fails the
+build.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+
+pytestmark = pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (CI installs it; the dev container does not)",
+)
+
+
+def test_strict_island_passes_mypy():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
