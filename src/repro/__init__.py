@@ -33,8 +33,11 @@ __version__ = "1.1.0"
 from repro.api import (  # noqa: E402
     EnsembleResult,
     ExecutionPolicy,
+    RetryPolicy,
     RunRecord,
     RunSpec,
+    SweepInterrupted,
+    SweepJournal,
     TraceDistribution,
     ensemble,
     simulate,
@@ -56,8 +59,11 @@ __all__ = [
     "TrainingConfig",
     "EnsembleResult",
     "ExecutionPolicy",
+    "RetryPolicy",
     "RunRecord",
     "RunSpec",
+    "SweepInterrupted",
+    "SweepJournal",
     "TraceDistribution",
     "ensemble",
     "simulate",

@@ -27,10 +27,13 @@ from repro.orchestrator.ensemble import (
     TraceDistribution,
     run_ensemble,
 )
+from repro.orchestrator.journal import SweepJournal
 from repro.orchestrator.results import RunRecord
+from repro.orchestrator.retry import RetryPolicy
 from repro.orchestrator.runner import (
     ExecutionPolicy,
     ProgressFn,
+    SweepInterrupted,
     SweepRunner,
     execute_spec,
 )
@@ -40,8 +43,11 @@ __all__ = [
     "EnsembleResult",
     "ExecutionPolicy",
     "ResultCache",
+    "RetryPolicy",
     "RunRecord",
     "RunSpec",
+    "SweepInterrupted",
+    "SweepJournal",
     "TraceDistribution",
     "ensemble",
     "simulate",
@@ -76,21 +82,38 @@ def sweep(
     cache: ResultCache | str | os.PathLike[str] | None = None,
     progress: ProgressFn | None = None,
     refresh: bool = False,
+    journal: SweepJournal | str | os.PathLike[str] | None = None,
 ) -> list[RunRecord]:
     """Run many specs through a :class:`SweepRunner`.
 
     ``policy`` picks the backend (default: batched lockstep bins in
     this process); ``cache`` (a :class:`ResultCache` or a directory
-    path) serves repeat specs from their content hash.
+    path) serves repeat specs from their content hash.  ``journal``
+    (a :class:`SweepJournal` or a path) makes the sweep durable and
+    resumable: records append as they land, SIGINT/SIGTERM drain
+    in-flight work and raise :class:`SweepInterrupted`, and a re-run
+    against the same journal re-executes only unresolved specs.
     """
+    jrn: SweepJournal | None
+    owns_journal = False
+    if journal is None or isinstance(journal, SweepJournal):
+        jrn = journal
+    else:
+        jrn = SweepJournal(journal)  # opened here, so closed here
+        owns_journal = True
     runner = SweepRunner(
         policy=policy or ExecutionPolicy("batched"),
         cache=_as_cache(cache),
         progress=progress,
         refresh=refresh,
+        journal=jrn,
     )
-    with runner:
-        return runner.run(list(specs))
+    try:
+        with runner:
+            return runner.run(list(specs))
+    finally:
+        if owns_journal and jrn is not None:
+            jrn.close()
 
 
 def ensemble(

@@ -6,6 +6,9 @@
     python -m repro.cli overhead
     python -m repro.cli gantt --scenario early_exit --balanced
     python -m repro.cli sweep --mode megatron dynmo-partition --jobs 8
+    python -m repro.cli sweep --journal run.jsonl   # Ctrl-C safe
+    python -m repro.cli sweep --resume run.jsonl    # finish the rest
+    python -m repro.cli cache verify
 
 Every sub-command prints the reproduced table; ``sweep --paper-scale``
 switches to the paper's full 16/24-stage pipelines (slow).  ``sweep``
@@ -13,12 +16,15 @@ fans the full (scenario x mode x depth x seed) grid out over a
 process pool and caches results on disk keyed by each run's content
 hash — re-running a sweep only executes changed variants.
 ``--no-cache`` forces every run to execute (cache entries are still
-refreshed on the way out).
+refreshed on the way out).  ``--journal``/``--resume`` make long
+sweeps interruption-safe (see ``docs/failure-semantics.md``), and
+``cache verify|gc|stats`` audits the checksummed result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -34,7 +40,10 @@ from repro.orchestrator import (
     MODES,
     ExecutionPolicy,
     ResultCache,
+    RetryPolicy,
     RunSpec,
+    SweepInterrupted,
+    SweepJournal,
     SweepRunner,
     records_to_rows,
     write_csv,
@@ -74,6 +83,17 @@ def _add_runner_flags(p: argparse.ArgumentParser) -> None:
         help="charge the balancer's analytic (reproducible) or real "
              "wall-clock cost as overhead",
     )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="total attempts for chunks hit by transient worker faults "
+             "(BrokenProcessPool/OSError); deterministic sim errors are "
+             "never retried (default: 3)",
+    )
+    p.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="base backoff before the first retry, doubling per attempt "
+             "(deterministic, no jitter; default: 0.05)",
+    )
 
 
 def _add_topology_flags(p: argparse.ArgumentParser, multi: bool = False) -> None:
@@ -97,14 +117,28 @@ def _add_topology_flags(p: argparse.ArgumentParser, multi: bool = False) -> None
     )
 
 
-def _runner_from_args(args, progress=None) -> SweepRunner:
+def _policy_from_args(args) -> ExecutionPolicy:
+    policy = ExecutionPolicy.from_jobs(args.jobs, args.timeout)
+    retries = getattr(args, "retries", None)
+    backoff = getattr(args, "retry_backoff", None)
+    if retries is not None or backoff is not None:
+        retry = RetryPolicy(
+            max_attempts=retries if retries is not None else 3,
+            backoff_s=backoff if backoff is not None else 0.05,
+        )
+        policy = dataclasses.replace(policy, retry=retry)
+    return policy
+
+
+def _runner_from_args(args, progress=None, journal=None) -> SweepRunner:
     cache = ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
     return SweepRunner(
-        policy=ExecutionPolicy.from_jobs(args.jobs, args.timeout),
+        policy=_policy_from_args(args),
         cache=cache,
         timeout_s=args.timeout,
         progress=progress,
         refresh=bool(getattr(args, "no_cache", False)),
+        journal=journal,
     )
 
 
@@ -231,9 +265,24 @@ def cmd_sweep(args) -> int:
             flush=True,
         )
 
+    journal_path = args.resume or args.journal
+    journal = SweepJournal(journal_path) if journal_path else None
+    if journal is not None and journal.prior:
+        print(
+            f"journal {journal_path}: {len(journal.prior)} prior record(s) "
+            f"({', '.join(f'{v} {k}' for k, v in sorted(journal.statuses().items()))})"
+        )
+
     t0 = time.perf_counter()
-    with _runner_from_args(args, progress=progress) as runner:
-        records = runner.run(specs)
+    try:
+        with _runner_from_args(args, progress=progress, journal=journal) as runner:
+            records = runner.run(specs)
+    except SweepInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
     wall = time.perf_counter() - t0
 
     rows = records_to_rows(records)
@@ -303,7 +352,7 @@ def cmd_ensemble(args) -> int:
     result = run_ensemble(
         bases,
         args.n,
-        ExecutionPolicy.from_jobs(args.jobs, args.timeout),
+        _policy_from_args(args),
         distribution=dist,
         seed0=args.trace_seed,
         cache=cache,
@@ -406,6 +455,31 @@ def cmd_events(args) -> int:
     if args.out:
         print(f"wrote {trace.save(args.out)}")
     return 0
+
+
+def cmd_cache(args) -> int:
+    """Result-cache maintenance: verify / gc / stats.
+
+    ``verify`` audits every entry against its payload checksum and
+    quarantines (renames to ``*.corrupt``) anything damaged; ``gc``
+    additionally reaps stale-format entries, quarantined files, and
+    orphaned ``*.tmp.*`` files from writers that died mid-write;
+    ``stats`` is the same audit without touching anything.  Exit
+    status is 1 when corrupt or quarantined entries remain — CI runs
+    ``repro cache verify`` to assert a clean cache.
+    """
+    cache = ResultCache(args.cache_dir)
+    audit = {"verify": cache.verify, "gc": cache.gc, "stats": cache.stats}[
+        args.action
+    ]()
+    print(f"cache {args.cache_dir} ({args.action}):")
+    for key, value in audit.to_dict().items():
+        if key == "renamed":
+            continue
+        print(f"  {key:<12} {value}")
+    for path in audit.renamed:
+        print(f"  quarantined -> {path}")
+    return 0 if audit.clean else 1
 
 
 def cmd_lint(args) -> int:
@@ -552,6 +626,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="re-execute every run, refreshing any cached entries",
     )
+    ps.add_argument(
+        "--journal", default=None, metavar="FILE.jsonl",
+        help="append every landed record to this journal as it lands; "
+             "SIGINT/SIGTERM drain in-flight runs, flush the journal, "
+             "and exit 130 so the sweep can be resumed",
+    )
+    ps.add_argument(
+        "--resume", default=None, metavar="FILE.jsonl",
+        help="resume from a journal: serve finished runs from it, reload "
+             "quarantined poison specs, and execute only what is missing "
+             "or previously failed (keeps journaling to the same file)",
+    )
     ps.set_defaults(fn=cmd_sweep, jobs=None, cache_dir=DEFAULT_CACHE_DIR)
 
     pn = sub.add_parser(
@@ -628,6 +714,18 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--straggle-ranks", type=int, nargs="+", default=[])
     pe.add_argument("--straggle-at", type=int, default=None, metavar="ITER")
     pe.set_defaults(fn=cmd_events)
+
+    pc = sub.add_parser(
+        "cache",
+        help="result-cache maintenance: verify checksums / gc / stats "
+             "(exit 1 while corrupt or quarantined entries remain)",
+    )
+    pc.add_argument("action", choices=["verify", "gc", "stats"])
+    pc.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory to audit (default: {DEFAULT_CACHE_DIR})",
+    )
+    pc.set_defaults(fn=cmd_cache)
 
     pl = sub.add_parser(
         "lint",

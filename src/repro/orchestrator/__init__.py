@@ -7,9 +7,16 @@ process pool — and a :class:`ResultCache` keyed by the spec content
 hash makes re-runs incremental.  The figure drivers in
 ``repro.experiments`` and the ``repro sweep`` CLI are both thin layers
 over this package.
+
+Fault tolerance rides along: a :class:`RetryPolicy` governs how
+transient worker deaths re-run (deterministic exponential backoff),
+poison specs that keep killing workers are bisected out and
+quarantined, a :class:`SweepJournal` makes interrupted sweeps
+resumable, and the cache checksums every entry so corruption is
+quarantined, never served (see ``docs/failure-semantics.md``).
 """
 
-from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.cache import CacheAudit, ResultCache
 from repro.orchestrator.export import (
     read_json,
     record_row,
@@ -25,12 +32,20 @@ from repro.orchestrator.ensemble import (
     run_ensemble,
     sample_specs,
 )
+from repro.orchestrator.faults import FaultPlan
+from repro.orchestrator.journal import SweepJournal
 from repro.orchestrator.results import RunRecord, SweepError, result_metrics
+from repro.orchestrator.retry import RetryPolicy
 from repro.orchestrator.runner import (
     ExecutionPolicy,
+    SweepInterrupted,
     SweepRunner,
     SweepTimeout,
+    clear_quarantine,
     execute_spec,
+    quarantine_spec,
+    quarantined,
+    quarantined_hashes,
     run_specs,
     run_specs_by,
 )
@@ -39,16 +54,25 @@ from repro.orchestrator.spec import MODES, SPEC_SCHEMA_VERSION, RunSpec
 __all__ = [
     "MODES",
     "SPEC_SCHEMA_VERSION",
+    "CacheAudit",
     "EnsembleResult",
     "EnsembleStats",
     "ExecutionPolicy",
+    "FaultPlan",
     "ResultCache",
+    "RetryPolicy",
     "RunRecord",
     "RunSpec",
     "SweepError",
+    "SweepInterrupted",
+    "SweepJournal",
     "SweepRunner",
     "SweepTimeout",
+    "clear_quarantine",
     "execute_spec",
+    "quarantine_spec",
+    "quarantined",
+    "quarantined_hashes",
     "read_json",
     "record_row",
     "records_to_rows",

@@ -1,22 +1,93 @@
 """Disk cache for sweep results, keyed by the spec content hash.
 
-Each successful run is stored as ``<root>/<spec_hash>.json`` holding
-the full :class:`~repro.orchestrator.results.RunRecord`.  Lookups
-verify the stored spec matches the query spec field-for-field (hash
-collisions and schema drift both surface as a miss), and only ``ok``
-records are cached so failures and timeouts are always retried.
-Writes go through a temp file + :func:`os.replace`, so a crashed or
-parallel writer never leaves a torn entry.
+Each successful run is stored as ``<root>/<spec_hash>.json`` holding a
+checksummed envelope::
+
+    {"cache_schema": 2, "sha256": "<hex>", "record": {...RunRecord...}}
+
+``sha256`` covers the canonical JSON of the record payload, so a
+bit-flipped, truncated, or hand-edited entry is *detected*, not
+silently served: :meth:`ResultCache.get` renames such entries to
+``<name>.json.corrupt`` (an auditable quarantine, reaped by
+:meth:`gc`) and reports a miss.  Entries in older formats or schema
+versions are stale — a plain miss, reaped by :meth:`gc` but never
+mislabelled corrupt.
+
+Lookups additionally verify the stored spec matches the query spec
+field-for-field (hash collisions and schema drift both surface as a
+miss), and only ``ok`` records are cached so failures and timeouts
+are always retried.  Writes go through a per-write temp file (PID +
+thread id + counter, so concurrent writers in one process never
+collide), are fsync'd, and land via :func:`os.replace`; a writer that
+dies mid-write leaves at worst a ``*.tmp.*`` file that
+:meth:`verify`/:meth:`gc` account for and reap.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
 import os
+import threading
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
+from repro.orchestrator import faults
 from repro.orchestrator.results import RECORD_SCHEMA_VERSION, RunRecord
 from repro.orchestrator.spec import RunSpec
+
+CACHE_SCHEMA_VERSION = 2
+
+#: suffix appended to quarantined (checksum-failed) entries
+CORRUPT_SUFFIX = ".corrupt"
+
+#: distinguishes concurrent writers within one process (PIDs already
+#: distinguish across processes)
+_TMP_COUNTER = itertools.count()
+
+
+def _checksum(record_payload: dict[str, Any]) -> str:
+    blob = json.dumps(record_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheAudit:
+    """What a :meth:`ResultCache.verify` / :meth:`~ResultCache.gc` pass found."""
+
+    ok: int = 0
+    #: entries that failed JSON parsing or the payload checksum; verify
+    #: renames each to ``*.corrupt`` as it finds them
+    corrupt: int = 0
+    #: parseable entries in an old envelope / schema version
+    stale: int = 0
+    #: orphaned ``*.tmp.*`` files from writers that died mid-write
+    tmp: int = 0
+    #: previously quarantined ``*.corrupt`` files present
+    quarantined: int = 0
+    #: files removed (gc only)
+    removed: int = 0
+    bytes_total: int = 0
+    #: quarantine destinations created by this pass
+    renamed: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupt == 0 and self.quarantined == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "corrupt": self.corrupt,
+            "stale": self.stale,
+            "tmp": self.tmp,
+            "quarantined": self.quarantined,
+            "removed": self.removed,
+            "bytes_total": self.bytes_total,
+            "renamed": list(self.renamed),
+        }
 
 
 class ResultCache:
@@ -27,20 +98,59 @@ class ResultCache:
     def _path(self, spec_hash: str) -> Path:
         return self.root / f"{spec_hash}.json"
 
+    def _quarantine(self, path: Path) -> Path:
+        """Rename a corrupt entry aside; never raises on a lost race."""
+        target = path.with_name(path.name + CORRUPT_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass  # a concurrent reader already moved or removed it
+        return target
+
+    # -- classification ------------------------------------------------------
+    #: entry states: a servable record, a detectably damaged file, or a
+    #: readable file in a superseded format
+    _OK, _CORRUPT, _STALE = "ok", "corrupt", "stale"
+
+    def _classify(self, path: Path) -> tuple[str, RunRecord | None]:
+        """Decide an entry's fate without touching the filesystem."""
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return self._STALE, None  # vanished under us: a plain miss
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return self._CORRUPT, None
+        if not isinstance(data, dict):
+            return self._CORRUPT, None
+        if data.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            return self._STALE, None  # pre-checksum or future format
+        payload = data.get("record")
+        if not isinstance(payload, dict) or _checksum(payload) != data.get(
+            "sha256"
+        ):
+            return self._CORRUPT, None
+        if payload.get("schema") != RECORD_SCHEMA_VERSION:
+            return self._STALE, None
+        try:
+            record = RunRecord.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return self._STALE, None  # checksum held, so drift not damage
+        return self._OK, record
+
     def get(self, spec: RunSpec) -> RunRecord | None:
         path = self._path(spec.spec_hash)
-        try:
-            with path.open("r", encoding="utf-8") as fh:
-                data = json.load(fh)
-            if data.get("schema") != RECORD_SCHEMA_VERSION:
-                return None
-            record = RunRecord.from_dict(data)
-        # OSError: unreadable; ValueError: bad JSON or bad encoding
-        # (JSONDecodeError and UnicodeDecodeError both subclass it);
-        # KeyError/TypeError: schema drift in a decoded entry
-        except (OSError, ValueError, KeyError, TypeError):
+        if not path.exists():
             return None
-        if record.spec.to_dict() != spec.to_dict() or not record.ok:
+        fate, record = self._classify(path)
+        if fate == self._CORRUPT:
+            # never silently swallow damage: quarantine it for audit
+            self._quarantine(path)
+            return None
+        if record is None or record.spec.to_dict() != spec.to_dict():
+            return None
+        if not record.ok:
             return None
         record.cached = True
         return record
@@ -49,10 +159,94 @@ class ResultCache:
         if not record.ok:
             return
         path = self._path(record.spec_hash)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(record.to_dict(), fh)
-        os.replace(tmp, path)
+        payload = record.to_dict()
+        envelope = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "sha256": _checksum(payload),
+            "record": payload,
+        }
+        tmp = self.root / (
+            f"{record.spec_hash}.tmp."
+            f"{os.getpid()}.{threading.get_ident()}.{next(_TMP_COUNTER)}"
+        )
+        try:
+            with tmp.open("w", encoding="utf-8") as fh:
+                json.dump(envelope, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            # a failed dump/replace must not orphan the temp file; after
+            # a successful replace the name is gone and this is a no-op
+            tmp.unlink(missing_ok=True)
+        faults.on_cache_put(path)
+
+    # -- audit and maintenance ----------------------------------------------
+    def verify(self) -> CacheAudit:
+        """Audit every entry; quarantine (rename) any corrupt ones."""
+        audit = CacheAudit()
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                audit.bytes_total += path.stat().st_size
+            except OSError:
+                continue
+            fate, _ = self._classify(path)
+            if fate == self._OK:
+                audit.ok += 1
+            elif fate == self._CORRUPT:
+                audit.corrupt += 1
+                audit.renamed.append(str(self._quarantine(path)))
+            else:
+                audit.stale += 1
+        audit.tmp = sum(1 for _ in self.root.glob("*.tmp.*"))
+        audit.quarantined = sum(
+            1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}")
+        )
+        return audit
+
+    def gc(self) -> CacheAudit:
+        """Reap stale entries, quarantined files, and orphaned temps.
+
+        Healthy entries are untouched; the returned audit's ``removed``
+        counts what was deleted.  Corrupt entries found during the scan
+        are quarantined first (so the audit records them) and then
+        removed with the rest of the quarantine.
+        """
+        audit = self.verify()
+        for path in sorted(self.root.glob("*.json")):
+            fate, _ = self._classify(path)
+            if fate == self._STALE:
+                path.unlink(missing_ok=True)
+                audit.removed += 1
+        for pattern in (f"*{CORRUPT_SUFFIX}", "*.tmp.*"):
+            for path in sorted(self.root.glob(pattern)):
+                path.unlink(missing_ok=True)
+                audit.removed += 1
+        audit.tmp = 0
+        audit.quarantined = 0
+        return audit
+
+    def stats(self) -> CacheAudit:
+        """Non-mutating audit: like :meth:`verify` but corrupt entries
+        are counted in place, not renamed."""
+        audit = CacheAudit()
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                audit.bytes_total += path.stat().st_size
+            except OSError:
+                continue
+            fate, _ = self._classify(path)
+            if fate == self._OK:
+                audit.ok += 1
+            elif fate == self._CORRUPT:
+                audit.corrupt += 1
+            else:
+                audit.stale += 1
+        audit.tmp = sum(1 for _ in self.root.glob("*.tmp.*"))
+        audit.quarantined = sum(
+            1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}")
+        )
+        return audit
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

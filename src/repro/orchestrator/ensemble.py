@@ -32,6 +32,7 @@ from typing import Any, Sequence
 from repro.cluster.events import ClusterEventTrace
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.results import RunRecord
+from repro.orchestrator.journal import SweepJournal
 from repro.orchestrator.runner import ExecutionPolicy, ProgressFn, SweepRunner
 from repro.orchestrator.spec import RunSpec
 
@@ -255,6 +256,7 @@ def run_ensemble(
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
     refresh: bool = False,
+    journal: SweepJournal | None = None,
 ) -> EnsembleResult:
     """Sample N traces per base spec, run them, summarise distributions.
 
@@ -262,7 +264,8 @@ def run_ensemble(
     traces collapse into one event-free run), executed through a
     :class:`SweepRunner` — batched lockstep bins by default — and
     fanned back out so duplicate draws weight the statistics exactly
-    once per draw.
+    once per draw.  ``journal`` makes the underlying sweep durable and
+    resumable, exactly as in :meth:`SweepRunner.run`.
     """
     base_list = [bases] if isinstance(bases, RunSpec) else list(bases)
     if not base_list:
@@ -281,6 +284,7 @@ def run_ensemble(
         cache=cache,
         progress=progress,
         refresh=refresh,
+        journal=journal,
     )
     with runner:
         records = runner.run(specs)

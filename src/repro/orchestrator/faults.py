@@ -1,0 +1,228 @@
+"""Deterministic fault injection for chaos-testing the orchestrator.
+
+The recovery paths in :mod:`repro.orchestrator.runner` — retry with
+backoff, poison-spec bisection, journal resume, cache quarantine —
+only earn their keep if they can be *driven* end-to-end.  This module
+plants seams in the execution pipeline that an installed
+:class:`FaultPlan` turns into faults:
+
+* ``on_spec_execute`` — kill the executing **worker** process
+  (``os._exit``) when it picks up a poison spec hash, simulating a
+  segfaulting run.  Kills never fire in the orchestrator's own process
+  (the plan remembers the installing PID), so inline fallback paths
+  survive by construction.
+* ``on_chunk_start`` — delay the Nth chunk body, for exercising
+  timeout accounting.
+* ``on_cache_put`` — flip one byte of the Nth cache entry written,
+  for exercising checksum quarantine.
+* ``on_record`` — raise ``SIGINT`` in the orchestrator after the Nth
+  record lands, for exercising journal drain + resume.
+* ``sleep`` — the runner routes retry-backoff pauses through here; an
+  installed plan records them (and can suppress the actual sleeping),
+  so tests assert the exact deterministic schedule.
+
+Everything is deterministic: which ops fault is named by the plan
+(spec hashes and 1-based operation counts), and the corrupted byte
+offset is derived from a seeded content hash — no wall clock, no
+unseeded RNG.  Transient (self-healing) faults are modelled with a
+*kill ledger* file: each kill appends one byte, and once the ledger
+reaches ``max_kills`` the hook stops firing, so a retried chunk
+succeeds.  The ledger is a file because the counter must survive the
+very worker death it triggers.
+
+Production code paths call the hooks unconditionally; with no plan
+installed every hook is a no-op costing one attribute read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, picklable description of the faults to inject.
+
+    Counts are 1-based and compared against per-process operation
+    counters (reset at :func:`install`); spec-hash triggers are
+    content-based and therefore deterministic regardless of worker
+    interleaving.
+    """
+
+    #: spec hashes whose execution kills the worker (poison specs)
+    kill_specs: tuple[str, ...] = ()
+    #: 1-based per-process execute counts that kill the worker
+    kill_on_execute: tuple[int, ...] = ()
+    #: stop killing after this many kills (None = unbounded); needs
+    #: ``kill_ledger`` to survive worker deaths
+    max_kills: int | None = None
+    #: path of the cross-process kill ledger file
+    kill_ledger: str = ""
+    #: worker exit status for injected kills (139 ~ SIGSEGV)
+    kill_exit_code: int = 139
+    #: 1-based chunk-body starts to delay by ``delay_s``
+    delay_chunks: tuple[int, ...] = ()
+    delay_s: float = 0.0
+    #: 1-based cache writes whose entry gets one byte flipped
+    corrupt_cache_puts: tuple[int, ...] = ()
+    #: raise SIGINT in the orchestrator after these record counts land
+    interrupt_after_records: tuple[int, ...] = ()
+    #: suppress real sleeping in :func:`sleep` (pauses still recorded)
+    no_sleep: bool = False
+    #: folded into the corrupted-byte offset derivation
+    seed: int = 0
+
+
+_PLAN: FaultPlan | None = None
+_OWNER_PID: int | None = None
+_COUNTS: dict[str, int] = {}
+_SLEEPS: list[float] = []
+
+
+def install(plan: FaultPlan, owner_pid: int | None = None) -> None:
+    """Activate ``plan``; ``owner_pid`` is the orchestrator's PID.
+
+    Kills only fire in processes other than the owner, so a plan
+    installed in the main process arms worker-side faults without ever
+    killing the sweep itself.  Workers install the plan that travelled
+    with their chunk, passing the parent's PID through.
+    """
+    global _PLAN, _OWNER_PID
+    _PLAN = plan
+    _OWNER_PID = os.getpid() if owner_pid is None else owner_pid
+    _COUNTS.clear()
+    _SLEEPS.clear()
+
+
+def uninstall() -> None:
+    global _PLAN, _OWNER_PID
+    _PLAN = None
+    _OWNER_PID = None
+    _COUNTS.clear()
+    _SLEEPS.clear()
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a ``with`` block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def active() -> FaultPlan | None:
+    return _PLAN
+
+
+def recorded_sleeps() -> tuple[float, ...]:
+    """Backoff pauses routed through :func:`sleep` since install."""
+    return tuple(_SLEEPS)
+
+
+def _bump(key: str) -> int:
+    n = _COUNTS.get(key, 0) + 1
+    _COUNTS[key] = n
+    return n
+
+
+def _kill_permitted(plan: FaultPlan) -> bool:
+    """Record one kill in the ledger; False once ``max_kills`` is spent."""
+    if plan.max_kills is None:
+        return True
+    if not plan.kill_ledger:
+        spent = _COUNTS.get("kills", 0)
+        _COUNTS["kills"] = spent + 1
+        return spent < plan.max_kills
+    # O_APPEND keeps concurrent workers from losing each other's marks;
+    # the size *before* our mark is the number of kills already taken
+    fd = os.open(
+        plan.kill_ledger, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        spent = os.fstat(fd).st_size
+        os.write(fd, b"x")
+    finally:
+        os.close(fd)
+    return spent < plan.max_kills
+
+
+def on_spec_execute(spec_hash: str) -> None:
+    """Seam at the top of ``execute_spec``: poison-spec worker kills."""
+    plan = _PLAN
+    if plan is None:
+        return
+    n = _bump("execute")
+    if os.getpid() == _OWNER_PID:
+        return  # never kill the orchestrator itself
+    if spec_hash in plan.kill_specs or n in plan.kill_on_execute:
+        if _kill_permitted(plan):
+            os._exit(plan.kill_exit_code)
+
+
+def on_chunk_start() -> None:
+    """Seam at the top of a pooled chunk body: injected delays."""
+    plan = _PLAN
+    if plan is None:
+        return
+    n = _bump("chunk")
+    if n in plan.delay_chunks and plan.delay_s > 0:
+        time.sleep(plan.delay_s)
+
+
+def corrupt_file(path: str | os.PathLike[str], seed: int = 0) -> int:
+    """Flip one byte of ``path`` at a seed-derived offset; returns it.
+
+    The offset is ``blake2b(seed:filename) mod size`` — fully
+    determined by the plan seed and the file's name, so repeated chaos
+    runs corrupt the identical byte.
+    """
+    p = Path(path)
+    data = bytearray(p.read_bytes())
+    if not data:
+        return -1
+    digest = hashlib.blake2b(
+        f"{seed}:{p.name}".encode(), digest_size=8
+    ).digest()
+    offset = int.from_bytes(digest, "big") % len(data)
+    data[offset] ^= 0xFF
+    p.write_bytes(bytes(data))
+    return offset
+
+
+def on_cache_put(path: str | os.PathLike[str]) -> None:
+    """Seam after a cache entry lands on disk: bit-flip corruption."""
+    plan = _PLAN
+    if plan is None:
+        return
+    n = _bump("cache_put")
+    if n in plan.corrupt_cache_puts:
+        corrupt_file(path, plan.seed)
+
+
+def on_record(done: int) -> None:
+    """Seam after the ``done``-th record lands: simulated Ctrl-C."""
+    plan = _PLAN
+    if plan is None:
+        return
+    if done in plan.interrupt_after_records and os.getpid() == _OWNER_PID:
+        signal.raise_signal(signal.SIGINT)
+
+
+def sleep(seconds: float) -> None:
+    """Backoff pauses route through here so plans can observe them."""
+    if _PLAN is None:
+        if seconds > 0:
+            time.sleep(seconds)
+        return
+    _SLEEPS.append(seconds)
+    if seconds > 0 and not _PLAN.no_sleep:
+        time.sleep(seconds)

@@ -1,0 +1,136 @@
+"""Resumable sweep journals: append-only JSONL of landed records.
+
+A :class:`SweepJournal` makes a sweep restartable: every record is
+appended to ``<path>`` as one JSON line the moment it lands (cache
+puts are best-effort and only keep ``ok`` runs; the journal keeps
+*everything*, including ``crashed`` and ``timeout`` outcomes).  Each
+append is a single buffered write flushed and ``fsync``'d before the
+call returns, so a killed sweep loses at most the record that was
+mid-write — and because a line is only parsed if it is complete, a
+torn trailing line degrades to "one record to re-run", never to a
+corrupt journal.
+
+File format (one JSON object per line)::
+
+    {"kind": "header", "journal_schema": 1, "record_schema": ..., ...}
+    {"kind": "record", ...RunRecord.to_dict()...}
+    {"kind": "record", ...}
+
+On resume the journal is re-read; the *last* entry per spec hash wins,
+so a spec that failed and was later re-run resolves to its newest
+outcome.  ``repro sweep --resume <journal>`` serves ``ok`` records
+straight from the journal, reloads ``crashed`` specs into the poison
+quarantine, and re-runs only missing / ``error`` / ``timeout`` specs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from types import TracebackType
+from typing import Any, TextIO
+
+from repro.orchestrator.results import RECORD_SCHEMA_VERSION, RunRecord
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class SweepJournal:
+    """Append-only, fsync'd record log with last-wins resume state.
+
+    ``resume=True`` (the default) loads any existing entries into
+    :attr:`prior` before appending; ``resume=False`` journals without
+    consulting history (existing lines are preserved — last-wins
+    semantics make re-appending safe).
+    """
+
+    def __init__(
+        self, path: str | os.PathLike[str], *, resume: bool = True
+    ) -> None:
+        self.path = Path(path)
+        #: last journaled record per spec hash (resume state)
+        self.prior: dict[str, RunRecord] = {}
+        #: lines that failed to parse on load (a torn tail is 1)
+        self.skipped_lines = 0
+        self._fh: TextIO | None = None
+        if resume and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    self.skipped_lines += 1
+                    continue
+                if not isinstance(entry, dict) or entry.get("kind") != "record":
+                    continue
+                if entry.get("schema") != RECORD_SCHEMA_VERSION:
+                    self.skipped_lines += 1
+                    continue
+                try:
+                    record = RunRecord.from_dict(entry)
+                except (KeyError, TypeError, ValueError):
+                    self.skipped_lines += 1
+                    continue
+                self.prior[record.spec_hash] = record
+
+    def _open(self) -> TextIO:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = self.path.open("a", encoding="utf-8")
+            if fresh:
+                self._write_line(
+                    {
+                        "kind": "header",
+                        "journal_schema": JOURNAL_SCHEMA_VERSION,
+                        "record_schema": RECORD_SCHEMA_VERSION,
+                    }
+                )
+        return self._fh
+
+    def _write_line(self, payload: dict[str, Any]) -> None:
+        fh = self._fh
+        assert fh is not None
+        fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def append(self, record: RunRecord) -> None:
+        """Durably journal one landed record (atomic line, fsync'd)."""
+        self._open()
+        self._write_line({"kind": "record", **record.to_dict()})
+        self.prior[record.spec_hash] = record
+
+    def statuses(self) -> dict[str, int]:
+        """Count of journaled specs by their latest status."""
+        counts: dict[str, int] = {}
+        for record in self.prior.values():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.prior)

@@ -1,8 +1,8 @@
 """Run outcomes: the :class:`RunRecord` envelope and metric extraction.
 
 A record carries the spec that produced it, its content hash, a status
-(``ok`` / ``error`` / ``timeout``), wall-clock duration, and — for
-successful runs — a plain-dict snapshot of the
+(``ok`` / ``error`` / ``timeout`` / ``crashed``), wall-clock duration,
+and — for successful runs — a plain-dict snapshot of the
 :class:`~repro.training.trainer.TrainingResult`.  Metrics are pure
 data (floats/ints/lists), so records serialise losslessly to JSON and
 compare exactly across serial and parallel execution.
@@ -26,7 +26,7 @@ class SweepError(RuntimeError):
 class RunRecord:
     spec: RunSpec
     spec_hash: str
-    status: str  # "ok" | "error" | "timeout"
+    status: str  # "ok" | "error" | "timeout" | "crashed"
     duration_s: float = 0.0
     cached: bool = False
     error: str | None = None

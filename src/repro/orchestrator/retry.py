@@ -1,0 +1,80 @@
+"""Retry policy for transient worker faults: deterministic backoff.
+
+A sweep distinguishes two failure families:
+
+* **deterministic simulation errors** — a bad spec raises inside
+  :func:`~repro.orchestrator.runner.execute_spec`, is captured into a
+  ``status="error"`` record, and re-running it would reproduce the
+  same exception bit-for-bit.  These are *never* retried.
+* **transient worker faults** — the worker process died under a chunk
+  (``BrokenProcessPool``) or the pool plumbing hiccuped (``OSError``).
+  The chunk's future raises instead of returning records, so nothing
+  about the specs themselves is known to be wrong.  These are retried
+  on a fresh pool with deterministic exponential backoff; a fault that
+  survives every attempt is handed to poison-spec bisection (see
+  :meth:`SweepRunner.run <repro.orchestrator.runner.SweepRunner>`).
+
+The backoff schedule is pure arithmetic over the policy fields — no
+jitter, no wall-clock reads — so a retried sweep sleeps the exact same
+sequence every run and chaos tests can assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+#: exception type names treated as transient by default.  Matching is
+#: by name across the exception's MRO, so ``BrokenProcessPool`` (a
+#: ``BrokenExecutor`` subclass) and every ``OSError`` flavour qualify
+#: without this module importing executor internals.
+DEFAULT_RETRY_ON = ("BrokenProcessPool", "OSError")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and with what pauses, transient faults re-run.
+
+    ``max_attempts`` counts total tries including the first one, so
+    ``max_attempts=1`` disables retries.  The pause before attempt
+    ``k+1`` is ``backoff_s * backoff_factor ** (k - 1)`` — attempt 2
+    waits ``backoff_s``, attempt 3 waits ``backoff_s *
+    backoff_factor``, and so on.  ``retry_on`` names the exception
+    types (by class name, matched against the raised exception's MRO)
+    that count as transient.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    retry_on: tuple[str, ...] = DEFAULT_RETRY_ON
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1.0, got {self.backoff_factor}"
+            )
+
+    def should_retry(self, exc: BaseException) -> bool:
+        """True when ``exc`` is a transient (retryable) fault."""
+        names = {t.__name__ for t in type(exc).__mro__}
+        return any(name in names for name in self.retry_on)
+
+    def delay_s(self, failures: int) -> float:
+        """Deterministic pause after the ``failures``-th failed attempt."""
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        return self.backoff_s * self.backoff_factor ** (failures - 1)
+
+    def delays(self) -> tuple[float, ...]:
+        """The full backoff schedule: one pause per retry attempt."""
+        return tuple(self.delay_s(k) for k in range(1, self.max_attempts))
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)

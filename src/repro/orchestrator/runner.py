@@ -6,21 +6,45 @@ function so a :class:`~concurrent.futures.ProcessPoolExecutor` can
 pickle it to workers.  All exceptions are captured into the record
 (``status="error"``), so one bad variant never takes down a sweep.
 
-Execution backends (``jobs``):
+Execution backends (:class:`ExecutionPolicy`):
 
-- ``jobs=0`` — the **batched executor**: bins compatible specs by
-  compiled key ``(schedule, stages, micro)`` and drives each bin's
-  Trainers in lockstep in this process, simulating every iteration's
-  cache misses as one vectorized batch (no pickling, no worker import
-  cost).  Specs whose pipelines can diverge mid-run (re-packing,
-  elasticity) fall back to the per-spec path.  Timeouts are enforced
-  with a monotonic-clock check between iterations and bins — they work
-  off the main thread, unlike ``SIGALRM``.
-- ``jobs=1`` — inline in the calling process.
-- ``jobs>1`` — a process pool, submitted in chunks (one future per
-  chunk of specs, not per spec) over a module-wide warm pool that is
-  reused across sweep calls, so repeat sweeps stop paying per-spec
+- ``backend="batched"`` — bins compatible specs by compiled key
+  ``(schedule, stages, micro)`` and drives each bin's Trainers in
+  lockstep in this process, simulating every iteration's cache misses
+  as one vectorized batch (no pickling, no worker import cost).  Specs
+  whose pipelines can diverge mid-run (re-packing, elasticity) fall
+  back to the per-spec path.  Timeouts are enforced with a
+  monotonic-clock check between iterations and bins — they work off
+  the main thread, unlike ``SIGALRM``.
+- ``backend="inline"`` — serial, in the calling process.
+- ``backend="pool"`` — a process pool, submitted in chunks (one future
+  per chunk of specs, not per spec) over a module-wide warm pool that
+  is reused across sweep calls, so repeat sweeps stop paying per-spec
   pickle round-trips and per-call worker start-up.
+
+Fault tolerance (see ``docs/failure-semantics.md`` for the full
+contract):
+
+- **Retries** — a chunk whose worker dies (``BrokenProcessPool``) or
+  whose plumbing hiccups (``OSError``) is re-run on a fresh pool per
+  the policy's :class:`~repro.orchestrator.retry.RetryPolicy`, with
+  deterministic exponential backoff.  Deterministic simulation errors
+  are captured into records inside the worker and are never retried.
+- **Poison-spec quarantine** — a chunk that keeps killing its worker
+  is *bisected* on fresh pools (halves, then single specs) until the
+  crash is pinned on specific specs.  Those specs are recorded
+  ``status="crashed"`` with the worker's fate, and their hashes enter
+  a process-wide quarantine so a repeated sweep skips them instead of
+  re-killing workers.  Pool restarts are bounded by the policy's
+  ``max_pool_restarts``; beyond the budget the runner degrades
+  gracefully to the inline backend for the remaining work.
+- **Journaling** — with a :class:`~repro.orchestrator.journal.SweepJournal`
+  attached, every landed record is durably appended as it lands, and
+  ``SIGINT``/``SIGTERM`` are trapped: in-flight futures are drained,
+  the journal is flushed, and the sweep exits by raising
+  :class:`SweepInterrupted` (the CLI maps it to exit code 130).  A
+  journal opened with ``resume=True`` serves already-finished specs
+  without re-running them.
 
 Per-run timeouts use ``SIGALRM`` inside the executing process where
 available; when the alarm cannot be armed (no SIGALRM, or off the main
@@ -35,6 +59,7 @@ lazily inside the worker body to keep the import graph acyclic.
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import math
 import os
 import signal
@@ -42,14 +67,17 @@ import threading
 import time
 import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
 from types import FrameType
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.orchestrator import faults
 from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.journal import SweepJournal
 from repro.orchestrator.results import RunRecord, result_metrics
+from repro.orchestrator.retry import RetryPolicy
 from repro.orchestrator.spec import MODES, RunSpec
 
 #: execution backends an :class:`ExecutionPolicy` can name
@@ -71,12 +99,20 @@ class ExecutionPolicy:
       of ``workers`` (``None`` → all cores).
 
     ``timeout_s`` is the per-run wall-clock budget (the batched backend
-    scales it to a whole-bin deadline).
+    scales it to a whole-bin deadline).  ``retry`` governs how
+    transient worker faults re-run; ``max_pool_restarts`` bounds how
+    many times a run may replace a broken pool before degrading to
+    inline execution; ``chunk_size`` (pool only) overrides the
+    automatic chunking, mostly for tests that need a specific chunk
+    shape.
     """
 
     backend: str = "inline"
     workers: int | None = None
     timeout_s: float | None = None
+    retry: RetryPolicy = RetryPolicy()
+    max_pool_restarts: int = 8
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -93,6 +129,20 @@ class ExecutionPolicy:
                 )
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be >= 0, got {self.max_pool_restarts}"
+            )
+        if self.chunk_size is not None:
+            if self.chunk_size < 1:
+                raise ValueError(
+                    f"chunk_size must be >= 1, got {self.chunk_size}"
+                )
+            if self.backend != "pool":
+                raise ValueError(
+                    f"chunk_size only applies to backend='pool', "
+                    f"not {self.backend!r}"
+                )
 
     @classmethod
     def from_jobs(
@@ -124,6 +174,50 @@ class SweepTimeout(Exception):
     """Raised inside a worker when a run exceeds its time budget."""
 
 
+class SweepInterrupted(RuntimeError):
+    """A sweep stopped on SIGINT/SIGTERM after draining in-flight work.
+
+    ``records`` holds everything that landed (and was journaled)
+    before the stop; the rest of the grid is simply absent, so a
+    journal resume re-runs exactly the missing specs.
+    """
+
+    def __init__(self, message: str, records: list[RunRecord]) -> None:
+        super().__init__(message)
+        self.records = records
+
+
+# -- poison-spec quarantine --------------------------------------------------
+# Spec hashes whose execution killed a worker, pinned by bisection (or
+# reloaded from a journal's ``crashed`` records).  Process-wide so a
+# repeated sweep in the same process skips them instead of re-killing
+# workers; the journal persists them across processes.
+
+_QUARANTINE: dict[str, str] = {}
+
+
+def quarantine_spec(spec_hash: str, fate: str) -> None:
+    """Mark ``spec_hash`` as poison; future sweeps skip it."""
+    _QUARANTINE[spec_hash] = fate
+
+
+def quarantined(spec_hash: str) -> str | None:
+    """The recorded fate of a quarantined spec, or None."""
+    return _QUARANTINE.get(spec_hash)
+
+
+def quarantined_hashes() -> dict[str, str]:
+    """Snapshot of the quarantine registry (hash → fate)."""
+    return dict(_QUARANTINE)
+
+
+def clear_quarantine() -> int:
+    """Drop all quarantined hashes; returns how many were held."""
+    n = len(_QUARANTINE)
+    _QUARANTINE.clear()
+    return n
+
+
 @contextmanager
 def _deadline(seconds: float | None) -> Iterator[bool]:
     """Arm a SIGALRM deadline; yields True when actually armed.
@@ -145,7 +239,7 @@ def _deadline(seconds: float | None) -> Iterator[bool]:
         raise SweepTimeout(f"exceeded {seconds:.0f}s budget")
 
     old = signal.signal(signal.SIGALRM, _handler)
-    signal.alarm(max(1, int(math.ceil(seconds))))
+    signal.alarm(max(1, int(math.ceil(seconds or 0.0))))
     try:
         yield True
     finally:
@@ -243,8 +337,20 @@ def _timeout_record(spec: RunSpec, message: str, duration: float) -> RunRecord:
     )
 
 
+def _crashed_record(spec: RunSpec, fate: str, duration: float = 0.0) -> RunRecord:
+    return RunRecord(
+        spec=spec,
+        spec_hash=spec.spec_hash,
+        status="crashed",
+        duration_s=duration,
+        error=fate,
+        error_type="WorkerCrashed",
+    )
+
+
 def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunRecord:
     """Run one spec, capturing any failure into the returned record."""
+    faults.on_spec_execute(spec.spec_hash)
     start = time.perf_counter()
     try:
         with _deadline(timeout_s) as armed:
@@ -273,9 +379,25 @@ def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunRecord:
         return _error_record(spec, exc, time.perf_counter() - start)
 
 
-def _execute_chunk(specs: list[RunSpec], timeout_s: float | None) -> list[RunRecord]:
-    """Worker body for pooled execution: one pickle round-trip per chunk."""
-    return [execute_spec(spec, timeout_s) for spec in specs]
+def _execute_chunk(
+    specs: list[RunSpec],
+    timeout_s: float | None,
+    fault_plan: faults.FaultPlan | None = None,
+    owner_pid: int | None = None,
+) -> list[RunRecord]:
+    """Worker body for pooled execution: one pickle round-trip per chunk.
+
+    A fault plan installed in the orchestrator travels with the chunk
+    so injected worker kills fire here, in the worker.
+    """
+    if fault_plan is not None:
+        faults.install(fault_plan, owner_pid)
+    try:
+        faults.on_chunk_start()
+        return [execute_spec(spec, timeout_s) for spec in specs]
+    finally:
+        if fault_plan is not None:
+            faults.uninstall()
 
 
 # -- warm worker pools -------------------------------------------------------
@@ -309,6 +431,22 @@ def _shutdown_shared_pools() -> None:
 
 
 ProgressFn = Callable[[int, int, RunRecord], None]
+_LandFn = Callable[[int, RunRecord], None]
+
+
+@dataclass
+class _RunState:
+    """Per-``run()`` bookkeeping shared by the backend methods."""
+
+    specs: Sequence[RunSpec]
+    records: list[RunRecord | None]
+    land: _LandFn
+    stop: threading.Event
+    restarts: int = 0
+    degraded: bool = False
+
+    def partial(self) -> list[RunRecord]:
+        return [r for r in self.records if r is not None]
 
 
 class SweepRunner:
@@ -320,6 +458,12 @@ class SweepRunner:
     the vectorized engine, ``"inline"`` runs serially, ``"pool"`` fans
     chunks of specs out over a warm process pool.  Results come back in
     spec order regardless of completion order.
+
+    With a :class:`~repro.orchestrator.journal.SweepJournal` attached,
+    every landed record is durably appended, SIGINT/SIGTERM drain
+    in-flight work and raise :class:`SweepInterrupted`, and specs the
+    journal already resolved (``ok`` or quarantined ``crashed``) are
+    served without re-running.
 
     The legacy ``jobs`` integer protocol (``0``/``1``/``N``/``None``)
     is still accepted as a deprecated alias and mapped through
@@ -335,6 +479,7 @@ class SweepRunner:
         refresh: bool = False,
         *,
         policy: ExecutionPolicy | None = None,
+        journal: SweepJournal | None = None,
     ) -> None:
         if policy is not None and jobs is not _JOBS_UNSET:
             raise ValueError(
@@ -356,10 +501,12 @@ class SweepRunner:
         self.cache = cache
         self.timeout_s = timeout_s if timeout_s is not None else policy.timeout_s
         self.progress = progress
+        self.journal = journal
         # refresh: skip cache reads but still write results through, so
         # a forced re-run replaces stale entries instead of orphaning them
         self.refresh = refresh
         self._pool: ProcessPoolExecutor | None = None
+        self._progress_broken = False
         if (
             self.timeout_s
             and policy.backend != "batched"
@@ -392,86 +539,367 @@ class SweepRunner:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    # -- progress ------------------------------------------------------------
+    def _emit_progress(self, done: int, total: int, record: RunRecord) -> None:
+        """Call the user's progress callback, disarming it if it raises.
+
+        A broken callback must not abort a sweep mid-flight with
+        records unwritten — progress is advisory, records are not.
+        """
+        if self.progress is None or self._progress_broken:
+            return
+        try:
+            self.progress(done, total, record)
+        except Exception as exc:
+            self._progress_broken = True
+            warnings.warn(
+                f"progress callback raised {type(exc).__name__}: {exc}; "
+                "progress reporting disabled for the rest of this runner's "
+                "sweeps (records are unaffected)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # -- interrupt handling --------------------------------------------------
+    @contextmanager
+    def _trap_signals(self, stop: threading.Event) -> Iterator[bool]:
+        """Trap SIGINT/SIGTERM into ``stop`` while journaling.
+
+        Only armed when a journal is attached (plain sweeps keep stock
+        Ctrl-C semantics) and on the main thread (signal handlers
+        cannot be installed elsewhere).
+        """
+        if self.journal is None or (
+            threading.current_thread() is not threading.main_thread()
+        ):
+            yield False
+            return
+
+        def _handler(signum: int, frame: FrameType | None) -> None:
+            stop.set()
+
+        old_int = signal.signal(signal.SIGINT, _handler)
+        old_term = signal.signal(signal.SIGTERM, _handler)
+        try:
+            yield True
+        finally:
+            signal.signal(signal.SIGINT, old_int)
+            signal.signal(signal.SIGTERM, old_term)
+
+    def _interrupt(self, state: _RunState) -> None:
+        """Raise :class:`SweepInterrupted` with everything that landed."""
+        done = state.partial()
+        message = (
+            f"sweep interrupted: {len(done)}/{len(state.specs)} record(s) "
+            "landed and journaled"
+        )
+        if self.journal is not None:
+            message += f"; resume with --resume {self.journal.path}"
+        raise SweepInterrupted(message, done)
+
+    def _maybe_interrupt(self, state: _RunState) -> None:
+        if state.stop.is_set():
+            self._interrupt(state)
+
+    # -- main entry ----------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
         records: list[RunRecord | None] = [None] * len(specs)
         done = 0
+        stop = threading.Event()
 
-        def finish(i: int, record: RunRecord) -> None:
+        def finish(i: int, record: RunRecord, persist: bool = True) -> None:
             nonlocal done
             records[i] = record
             done += 1
-            if not record.cached and self.cache is not None:
-                self.cache.put(record)
-            if self.progress is not None:
-                self.progress(done, len(specs), record)
+            if persist:
+                if self.cache is not None and not record.cached:
+                    self.cache.put(record)
+                if self.journal is not None:
+                    self.journal.append(record)
+            self._emit_progress(done, len(specs), record)
+            faults.on_record(done)
 
         pending: list[int] = []
         use_cache = self.cache is not None and not self.refresh
         for i, spec in enumerate(specs):
-            hit = self.cache.get(spec) if use_cache else None
+            hit = (
+                self.cache.get(spec)
+                if use_cache and self.cache is not None
+                else None
+            )
             if hit is not None:
                 finish(i, hit)
             else:
                 pending.append(i)
 
+        # serve specs a resumed journal already resolved: finished runs
+        # replay their journaled record, crashed runs re-enter quarantine
+        if self.journal is not None and self.journal.prior and pending:
+            remaining: list[int] = []
+            for i in pending:
+                prev = self.journal.prior.get(specs[i].spec_hash)
+                if prev is not None and prev.status == "ok":
+                    finish(i, dataclasses.replace(prev), persist=False)
+                elif prev is not None and prev.status == "crashed":
+                    quarantine_spec(
+                        prev.spec_hash,
+                        prev.error or "crashed in a previous sweep",
+                    )
+                    finish(i, dataclasses.replace(prev), persist=False)
+                else:
+                    remaining.append(i)
+            pending = remaining
+
+        # quarantined poison specs are skipped, not re-run: re-killing a
+        # worker to rediscover a known-poison spec helps nobody
+        if pending:
+            remaining = []
+            for i in pending:
+                fate = quarantined(specs[i].spec_hash)
+                if fate is not None:
+                    finish(
+                        i,
+                        _crashed_record(
+                            specs[i], f"quarantined poison spec: {fate}"
+                        ),
+                    )
+                else:
+                    remaining.append(i)
+            pending = remaining
+
+        # dedupe repeated specs: execute each distinct hash once and fan
+        # the record out to every duplicate position (ensembles already
+        # dedupe; plain sweeps deserve the same)
+        first_of: dict[str, int] = {}
+        dup_of: dict[int, list[int]] = {}
+        uniq: list[int] = []
+        for i in pending:
+            h = specs[i].spec_hash
+            if h in first_of:
+                dup_of[first_of[h]].append(i)
+            else:
+                first_of[h] = i
+                dup_of[i] = []
+                uniq.append(i)
+        pending = uniq
+
+        def land(i: int, record: RunRecord) -> None:
+            finish(i, record)
+            for j in dup_of.get(i, ()):
+                finish(j, dataclasses.replace(record), persist=False)
+
         if not pending:
             return [r for r in records if r is not None]
 
-        if self.policy.backend == "batched":
-            self._run_batched([(i, specs[i]) for i in pending], finish)
-            return [r for r in records if r is not None]
+        state = _RunState(specs=specs, records=records, land=land, stop=stop)
+        with self._trap_signals(stop):
+            if self.policy.backend == "batched":
+                self._run_batched([(i, specs[i]) for i in pending], state)
+            elif self.policy.backend == "inline" or len(pending) == 1:
+                for i in pending:
+                    self._maybe_interrupt(state)
+                    land(i, execute_spec(specs[i], self.timeout_s))
+            else:
+                self._run_pool(pending, state)
+        return [r for r in records if r is not None]
 
-        if self.policy.backend == "inline" or len(pending) == 1:
-            for i in pending:
-                finish(i, execute_spec(specs[i], self.timeout_s))
-            return [r for r in records if r is not None]
+    # -- pooled execution with retry / bisection -----------------------------
+    def _restart_pool(self, state: _RunState) -> None:
+        """Replace a broken pool, degrading to inline past the budget."""
+        _discard_shared_pool(self.jobs)
+        self._pool = None
+        state.restarts += 1
+        if state.restarts > self.policy.max_pool_restarts:
+            if not state.degraded:
+                state.degraded = True
+                warnings.warn(
+                    f"worker pool died {state.restarts} times "
+                    f"(max_pool_restarts={self.policy.max_pool_restarts}); "
+                    "degrading to inline execution for the remaining specs",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        else:
+            self._pool = _shared_pool(self.jobs)
 
-        # chunked submission over the warm module-wide pool: one future
-        # (and one pickle round-trip) per chunk of specs, not per spec
+    def _probe(self, indices: list[int], state: _RunState) -> list[RunRecord]:
+        """Run ``indices`` as one chunk on the pool, synchronously."""
         if self._pool is None:
             self._pool = _shared_pool(self.jobs)
-        chunk_size = max(1, math.ceil(len(pending) / (self.jobs * 4)))
+        future = self._pool.submit(
+            _execute_chunk,
+            [state.specs[i] for i in indices],
+            self.timeout_s,
+            faults.active(),
+            os.getpid(),
+        )
+        return future.result()
+
+    def _run_inline_fallback(self, indices: list[int], state: _RunState) -> None:
+        for i in indices:
+            self._maybe_interrupt(state)
+            state.land(i, execute_spec(state.specs[i], self.timeout_s))
+
+    def _run_pool(self, pending: list[int], state: _RunState) -> None:
+        if self._pool is None:
+            self._pool = _shared_pool(self.jobs)
+        chunk_size = self.policy.chunk_size or max(
+            1, math.ceil(len(pending) / (self.jobs * 4))
+        )
         chunks = [
             pending[at : at + chunk_size]
             for at in range(0, len(pending), chunk_size)
         ]
-        broken = False
-        futures = {
+        # chunks travel with the active fault plan so injected worker
+        # kills fire in the worker, never in this process
+        plan, owner = faults.active(), os.getpid()
+        futures: dict[Future[list[RunRecord]], list[int]] = {
             self._pool.submit(
-                _execute_chunk, [specs[i] for i in chunk], self.timeout_s
+                _execute_chunk,
+                [state.specs[i] for i in chunk],
+                self.timeout_s,
+                plan,
+                owner,
             ): chunk
             for chunk in chunks
         }
-        for fut in as_completed(futures):
-            chunk = futures[fut]
+        # chunks whose future raised a *retryable* fault (a dead worker
+        # breaks every in-flight future, so innocent chunks land here
+        # alongside the culprit); recovered after the first pass
+        suspects: list[list[int]] = []
+        processed: set[Future[list[RunRecord]]] = set()
+        for future in as_completed(futures):
+            processed.add(future)
+            chunk = futures[future]
             try:
-                chunk_records = fut.result()
-            except Exception as exc:  # worker died (BrokenProcessPool, ...)
-                broken = True
-                chunk_records = [
-                    RunRecord(
-                        spec=specs[i],
-                        spec_hash=specs[i].spec_hash,
-                        status="error",
-                        error=f"{type(exc).__name__}: {exc}",
-                        error_type=type(exc).__name__,
-                    )
-                    for i in chunk
-                ]
+                chunk_records = future.result()
+            except Exception as exc:
+                if self.policy.retry.should_retry(exc):
+                    suspects.append(chunk)
+                else:
+                    for i in chunk:
+                        state.land(
+                            i,
+                            RunRecord(
+                                spec=state.specs[i],
+                                spec_hash=state.specs[i].spec_hash,
+                                status="error",
+                                error=f"{type(exc).__name__}: {exc}",
+                                error_type=type(exc).__name__,
+                            ),
+                        )
+                continue
             for i, record in zip(chunk, chunk_records):
-                finish(i, record)
-        if broken:
-            # a dead worker poisons the executor; discard the shared
-            # pool so the next run starts a fresh one
-            _discard_shared_pool(self.jobs)
-            self._pool = None
-        return [r for r in records if r is not None]
+                state.land(i, record)
+            if state.stop.is_set():
+                self._drain(futures, processed, state)
+                self._interrupt(state)
+        if suspects:
+            self._restart_pool(state)
+            for chunk in suspects:
+                self._maybe_interrupt(state)
+                self._recover_chunk(chunk, state)
+
+    def _drain(
+        self,
+        futures: dict[Future[list[RunRecord]], list[int]],
+        processed: set[Future[list[RunRecord]]],
+        state: _RunState,
+    ) -> None:
+        """On interrupt: cancel queued chunks, land the running ones.
+
+        Chunks that raise a retryable fault while draining stay
+        unrecorded — the journal simply lacks them, so a resume re-runs
+        exactly those specs.
+        """
+        for future, chunk in futures.items():
+            if future in processed or future.cancel():
+                continue
+            try:
+                chunk_records = future.result()
+            except Exception as exc:
+                if not self.policy.retry.should_retry(exc):
+                    for i in chunk:
+                        state.land(i, _error_record(state.specs[i], exc))
+                continue
+            for i, record in zip(chunk, chunk_records):
+                state.land(i, record)
+
+    def _recover_chunk(self, chunk: list[int], state: _RunState) -> None:
+        """Retry a transiently-failed chunk, then bisect what remains."""
+        retry = self.policy.retry
+        failures = 1  # the original pooled run
+        while failures < retry.max_attempts and not state.degraded:
+            faults.sleep(retry.delay_s(failures))
+            self._maybe_interrupt(state)
+            try:
+                chunk_records = self._probe(chunk, state)
+            except Exception as exc:
+                if not retry.should_retry(exc):
+                    for i in chunk:
+                        state.land(i, _error_record(state.specs[i], exc))
+                    return
+                failures += 1
+                self._restart_pool(state)
+                continue
+            for i, record in zip(chunk, chunk_records):
+                state.land(i, record)
+            return
+        if state.degraded:
+            self._run_inline_fallback(chunk, state)
+            return
+        self._bisect(chunk, state)
+
+    def _bisect(self, suspects: list[int], state: _RunState) -> None:
+        """Pin a persistent worker-killer on specific specs.
+
+        Re-runs the suspect group on a fresh pool in halves, then
+        singly; a single spec that still kills its worker is recorded
+        ``status="crashed"`` and quarantined.  Specs in groups that
+        execute cleanly land their real records — one poison spec in a
+        chunk costs the chunk nothing but bisection probes.
+        """
+        stack: list[list[int]] = [list(suspects)]
+        while stack:
+            self._maybe_interrupt(state)
+            group = stack.pop()
+            if state.degraded:
+                self._run_inline_fallback(group, state)
+                continue
+            try:
+                group_records = self._probe(group, state)
+            except Exception as exc:
+                if not self.policy.retry.should_retry(exc):
+                    for i in group:
+                        state.land(i, _error_record(state.specs[i], exc))
+                    continue
+                self._restart_pool(state)
+                if len(group) == 1:
+                    i = group[0]
+                    fate = (
+                        "worker died executing this spec "
+                        f"({type(exc).__name__}: {exc})"
+                    )
+                    quarantine_spec(state.specs[i].spec_hash, fate)
+                    state.land(
+                        i,
+                        _crashed_record(
+                            state.specs[i], f"{fate}; quarantined"
+                        ),
+                    )
+                else:
+                    mid = len(group) // 2
+                    stack.append(group[mid:])
+                    stack.append(group[:mid])  # popped (probed) first
+                continue
+            for i, record in zip(group, group_records):
+                state.land(i, record)
 
     # -- batched in-process execution ---------------------------------------
     def _run_batched(
         self,
         pending: list[tuple[int, RunSpec]],
-        finish: Callable[[int, RunRecord], None],
+        state: _RunState,
     ) -> None:
         """Evaluate specs binned by compiled key, whole bins in lockstep.
 
@@ -484,23 +912,26 @@ class SweepRunner:
         misses by *current* key, so event runs batch segment by segment.
         Timeouts are wall-clock checks between iterations (inside
         lockstep) and around the per-spec fallback, recorded as
-        ``status="timeout"`` like the signal-based path.
+        ``status="timeout"`` like the signal-based path.  Interrupts
+        are honoured between bins and between fallback specs.
         """
         from repro.training.lockstep import LockstepTimeout, run_trainers_lockstep
 
+        land = state.land
         bins: dict[tuple[Any, ...], list[tuple[int, RunSpec, Any, Any]]] = {}
         for i, spec in pending:
             if spec.repack or spec.elastic_total_gpus is not None:
                 # execute_spec arms SIGALRM when possible and otherwise
                 # enforces the budget post-hoc, so the fallback path
                 # reports timeouts exactly like the pooled path
-                finish(i, execute_spec(spec, self.timeout_s))
+                self._maybe_interrupt(state)
+                land(i, execute_spec(spec, self.timeout_s))
                 continue
             start = time.perf_counter()
             try:
                 setup, trainer = _spec_scenario_and_trainer(spec)
             except Exception as exc:
-                finish(i, _error_record(spec, exc, time.perf_counter() - start))
+                land(i, _error_record(spec, exc, time.perf_counter() - start))
                 continue
             key = (
                 spec.schedule,
@@ -510,6 +941,7 @@ class SweepRunner:
             bins.setdefault(key, []).append((i, spec, setup, trainer))
 
         for entries in bins.values():
+            self._maybe_interrupt(state)
             t0 = time.perf_counter()
             # the bin advances all runs together, so the per-run budget
             # scales to a whole-bin deadline: a bin of N runs may take
@@ -527,11 +959,11 @@ class SweepRunner:
             share = wall / len(entries)
             for (i, spec, setup, _), outcome in zip(entries, outcomes):
                 if isinstance(outcome, LockstepTimeout):
-                    finish(i, _timeout_record(spec, str(outcome), share))
+                    land(i, _timeout_record(spec, str(outcome), share))
                 elif isinstance(outcome, BaseException):
-                    finish(i, _error_record(spec, outcome, share))
+                    land(i, _error_record(spec, outcome, share))
                 else:
-                    finish(
+                    land(
                         i,
                         RunRecord(
                             spec=spec,

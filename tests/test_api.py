@@ -46,6 +46,22 @@ class TestFacade:
         again = repro.sweep([tiny()], cache=tmp_path / "cache")
         assert again[0].cached
 
+    def test_fault_tolerance_exports(self):
+        for name in ("RetryPolicy", "SweepJournal", "SweepInterrupted"):
+            assert hasattr(repro, name), name
+
+    def test_sweep_accepts_journal_path(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = repro.sweep([tiny()], journal=journal)
+        assert first[0].ok and journal.exists()
+        # a second sweep against the same journal serves from it: no
+        # cache involved, yet the record comes back without re-running
+        again = repro.sweep(
+            [tiny()], repro.ExecutionPolicy("inline"), journal=journal
+        )
+        assert again[0].ok
+        assert again[0].metrics == first[0].metrics
+
     def test_ensemble_facade(self, tmp_path):
         dist = repro.TraceDistribution(failure_rate=0.05, recover_after=8)
         res = repro.ensemble(

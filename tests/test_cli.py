@@ -214,6 +214,77 @@ class TestHeterogeneousSweep:
         assert "Figure 1" in capsys.readouterr().out
 
 
+class TestJournalFlags:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "sweep", "--scenario", "pruning", "--mode", "megatron",
+            "--iterations", "20", "--stages", "4", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ]
+
+    def test_sweep_journal_writes_and_resume_serves(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert main(self._argv(tmp_path, "--journal", str(journal))) == 0
+        assert journal.exists()
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 2  # header + one record
+        capsys.readouterr()
+        # resume against a fresh cache dir: the record must come from
+        # the journal, not from re-execution or the result cache
+        rc = main([
+            "sweep", "--scenario", "pruning", "--mode", "megatron",
+            "--iterations", "20", "--stages", "4", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache2"),
+            "--resume", str(journal),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 prior record(s)" in out
+        assert journal.read_text().splitlines() == lines  # nothing re-journaled
+
+    def test_retry_flags_reach_policy(self):
+        from repro.cli import _policy_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--retries", "5", "--retry-backoff", "0.2"]
+        )
+        policy = _policy_from_args(args)
+        assert policy.retry.max_attempts == 5
+        assert policy.retry.backoff_s == 0.2
+
+
+class TestCacheCommand:
+    def test_verify_gc_roundtrip(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "sweep", "--scenario", "pruning", "--mode", "megatron",
+            "--iterations", "20", "--stages", "4", "--jobs", "1",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        assert "corrupt      0" in capsys.readouterr().out
+
+        # damage the entry: verify must flag it (exit 1) and quarantine it
+        from repro.orchestrator import faults
+
+        [entry] = list(cache_dir.glob("*.json"))
+        faults.corrupt_file(entry, seed=0)
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt      1" in out and "quarantined ->" in out
+        assert not entry.exists()
+
+        # gc reaps the quarantine; the cache is clean again
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
+
 class TestEnsembleCommand:
     def _argv(self, tmp_path, *extra):
         return [
