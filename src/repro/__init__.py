@@ -33,13 +33,18 @@ __version__ = "1.1.0"
 from repro.api import (  # noqa: E402
     EnsembleResult,
     ExecutionPolicy,
+    MergeResult,
     RetryPolicy,
     RunRecord,
     RunSpec,
+    ShardPlan,
+    ShardWorker,
     SweepInterrupted,
     SweepJournal,
     TraceDistribution,
     ensemble,
+    merge_shard_dir,
+    shard_sweep,
     simulate,
     sweep,
 )
@@ -59,13 +64,18 @@ __all__ = [
     "TrainingConfig",
     "EnsembleResult",
     "ExecutionPolicy",
+    "MergeResult",
     "RetryPolicy",
     "RunRecord",
     "RunSpec",
+    "ShardPlan",
+    "ShardWorker",
     "SweepInterrupted",
     "SweepJournal",
     "TraceDistribution",
     "ensemble",
+    "merge_shard_dir",
+    "shard_sweep",
     "simulate",
     "sweep",
     "__version__",

@@ -21,6 +21,9 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
+from repro.distrib.merge import MergeResult, merge_shard_dir, shard_dir_status
+from repro.distrib.plan import ShardPlan
+from repro.distrib.worker import ShardWorker, WorkReport
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.ensemble import (
     EnsembleResult,
@@ -42,14 +45,21 @@ from repro.orchestrator.spec import RunSpec
 __all__ = [
     "EnsembleResult",
     "ExecutionPolicy",
+    "MergeResult",
     "ResultCache",
     "RetryPolicy",
     "RunRecord",
     "RunSpec",
+    "ShardPlan",
+    "ShardWorker",
     "SweepInterrupted",
     "SweepJournal",
     "TraceDistribution",
+    "WorkReport",
     "ensemble",
+    "merge_shard_dir",
+    "shard_dir_status",
+    "shard_sweep",
     "simulate",
     "sweep",
 ]
@@ -114,6 +124,48 @@ def sweep(
     finally:
         if owns_journal and jrn is not None:
             jrn.close()
+
+
+def shard_sweep(
+    specs: Sequence[RunSpec],
+    shard_dir: str | os.PathLike[str],
+    policy: ExecutionPolicy | None = None,
+    *,
+    num_shards: int | None = None,
+    worker: str | None = None,
+    local_cache: ResultCache | str | os.PathLike[str] | None = None,
+    ttl_s: float | None = None,
+    wait: bool = True,
+) -> MergeResult:
+    """Join (or start) a distributed sweep over a shared directory.
+
+    Publishes a :class:`ShardPlan` for ``specs`` into ``shard_dir`` if
+    none exists (``num_shards`` defaults to one shard per worker-sized
+    chunk of 16 specs), runs one :class:`ShardWorker` against it until
+    every shard is done (``wait=True``) or until nothing is claimable,
+    then merges.  Any number of hosts may call this concurrently with
+    the same ``specs`` and ``shard_dir``; they share the work through
+    lease claims and the shared result cache.  The returned
+    :class:`MergeResult`'s ``records`` match a single-host
+    :func:`sweep` over ``specs`` modulo wall-time fields.
+    """
+    from repro.distrib.lease import DEFAULT_TTL_S
+
+    shards = (
+        num_shards
+        if num_shards is not None
+        else max(1, (len(specs) + 15) // 16)
+    )
+    ShardPlan.build(list(specs), shards).publish(shard_dir)
+    shard_worker = ShardWorker(
+        shard_dir,
+        worker=worker,
+        policy=policy,
+        local_cache=_as_cache(local_cache),
+        ttl_s=ttl_s if ttl_s is not None else DEFAULT_TTL_S,
+    )
+    shard_worker.work(wait=wait)
+    return merge_shard_dir(shard_dir)
 
 
 def ensemble(

@@ -39,6 +39,7 @@ from repro.experiments import (
 from repro.orchestrator import (
     MODES,
     ExecutionPolicy,
+    JournalSchemaError,
     ResultCache,
     RetryPolicy,
     RunSpec,
@@ -114,6 +115,36 @@ def _add_topology_flags(p: argparse.ArgumentParser, multi: bool = False) -> None
         "--cluster", default=None, metavar="SPEC",
         help="cluster topology spec, e.g. '4x4' or '2x8+2x4' for mixed "
              "node sizes (default: auto-sized homogeneous 4-GPU nodes)",
+    )
+
+
+def _add_grid_flags(p: argparse.ArgumentParser) -> None:
+    """The sweep-grid axes shared by ``sweep`` and ``shard plan``."""
+    p.add_argument("--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
+    p.add_argument(
+        "--mode", nargs="+", default=["megatron", "dynmo-partition"], choices=MODES
+    )
+    p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p.add_argument("--schedule", default="zb", choices=["gpipe", "1f1b", "zb"])
+    _add_topology_flags(p, multi=True)
+    p.add_argument(
+        "--repack", action="store_true",
+        help="enable DynMo re-packing (dynmo-* modes); rows record the "
+             "surviving GPU ranks",
+    )
+    p.add_argument("--repack-target", type=int, default=1, metavar="N",
+                   help="minimum worker count re-packing may shrink to")
+    p.add_argument("--repack-force", action="store_true",
+                   help="force packing to --repack-target regardless of load")
+    p.add_argument(
+        "--events", default=None, metavar="TRACE.json",
+        help="apply a cluster-event trace (failures/stragglers/"
+             "recoveries, see `repro events`) to every run; the trace "
+             "content is hashed into each spec so caching stays sound",
+    )
+    p.add_argument(
+        "--paper-scale", action="store_true",
+        help="run the paper's full 16/24-stage, 10k-iteration grids (slow)",
     )
 
 
@@ -212,9 +243,10 @@ def cmd_overhead(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def _specs_from_args(args) -> list[RunSpec]:
+    """Build the (scenario x mode x depth x seed x placement) grid."""
     events_json = ""
-    if args.events:
+    if getattr(args, "events", None):
         from repro.cluster.events import ClusterEventTrace
 
         # canonical JSON of the trace *content* rides in every spec (and
@@ -231,7 +263,7 @@ def cmd_sweep(args) -> int:
             # an empty trace is a no-op: keep the specs event-free so
             # they batch normally and share cache entries with plain runs
             print(f"cluster events: {args.events} is empty; running without events")
-    specs = [
+    return [
         RunSpec(
             scenario=scenario,
             mode=mode,
@@ -257,6 +289,38 @@ def cmd_sweep(args) -> int:
         for placement in args.placement
     ]
 
+
+def _print_sweep_table(args, records, wall: float, jobs_label: str) -> int:
+    rows = records_to_rows(records)
+    columns = [
+        "scenario", "mode", "num_layers", "seed", "spec_hash", "status",
+        "cached", "tokens_per_s", "mean_bubble_ratio", "duration_s",
+    ]
+    if args.placement != ["packed"]:
+        columns.insert(4, "placement")
+    if args.repack:
+        columns.append("surviving_ranks")
+    if args.events:
+        columns += ["events_applied", "final_num_stages"]
+    print(ascii_table(rows, columns=columns, title="Sweep results"))
+    n_ok = sum(r.ok for r in records)
+    n_cached = sum(r.cached for r in records)
+    print(
+        f"{len(records)} runs: {n_ok} ok, {len(records) - n_ok} failed, "
+        f"{n_cached} from cache, {wall:.1f}s wall, jobs={jobs_label}"
+    )
+    if args.json:
+        print(f"wrote {write_json(records, args.json)}")
+    if args.csv:
+        print(f"wrote {write_csv(records, args.csv)}")
+    return 0 if n_ok == len(records) else 1
+
+
+def cmd_sweep(args) -> int:
+    specs = _specs_from_args(args)
+    if args.shard_dir:
+        return _sweep_sharded(args, specs)
+
     def progress(done: int, total: int, record) -> None:
         origin = "cache" if record.cached else f"{record.duration_s:.1f}s"
         print(
@@ -266,7 +330,12 @@ def cmd_sweep(args) -> int:
         )
 
     journal_path = args.resume or args.journal
-    journal = SweepJournal(journal_path) if journal_path else None
+    try:
+        journal = SweepJournal(journal_path) if journal_path else None
+    except JournalSchemaError as exc:
+        # resuming rows written under another spec schema would silently
+        # reinterpret them; refuse with the journal's own explanation
+        raise SystemExit(f"cannot resume: {exc}") from None
     if journal is not None and journal.prior:
         print(
             f"journal {journal_path}: {len(journal.prior)} prior record(s) "
@@ -284,30 +353,64 @@ def cmd_sweep(args) -> int:
         if journal is not None:
             journal.close()
     wall = time.perf_counter() - t0
+    return _print_sweep_table(args, records, wall, str(runner.jobs))
 
-    rows = records_to_rows(records)
-    columns = [
-        "scenario", "mode", "num_layers", "seed", "spec_hash", "status",
-        "cached", "tokens_per_s", "mean_bubble_ratio", "duration_s",
-    ]
-    if args.placement != ["packed"]:
-        columns.insert(4, "placement")
-    if args.repack:
-        columns.append("surviving_ranks")
-    if args.events:
-        columns += ["events_applied", "final_num_stages"]
-    print(ascii_table(rows, columns=columns, title="Sweep results"))
-    n_ok = sum(r.ok for r in records)
-    n_cached = sum(r.cached for r in records)
-    print(
-        f"{len(records)} runs: {n_ok} ok, {len(records) - n_ok} failed, "
-        f"{n_cached} from cache, {wall:.1f}s wall, jobs={runner.jobs}"
+
+def _sweep_sharded(args, specs) -> int:
+    """``repro sweep --shard-dir``: publish-if-absent, work, merge."""
+    from repro.distrib import (
+        PlanMismatch,
+        ShardDirLayout,
+        ShardPlan,
+        ShardWorker,
+        merge_shard_dir,
     )
-    if args.json:
-        print(f"wrote {write_json(records, args.json)}")
-    if args.csv:
-        print(f"wrote {write_csv(records, args.csv)}")
-    return 0 if n_ok == len(records) else 1
+
+    retry = _policy_from_args(args).retry
+    try:
+        if ShardDirLayout(args.shard_dir).plan_path.exists():
+            plan = ShardPlan.load(args.shard_dir, retry)
+            verb = "joining"
+        else:
+            plan = ShardPlan.build(specs, args.shards)
+            plan.publish(args.shard_dir, retry)
+            verb = "published"
+        print(
+            f"{verb} plan {plan.plan_id} in {args.shard_dir} "
+            f"({len(plan)} specs / {len(plan.shards)} shards)"
+        )
+    except PlanMismatch as exc:
+        raise SystemExit(str(exc)) from None
+    local = ResultCache(args.cache_dir) if args.cache_dir else None
+    worker = ShardWorker(
+        args.shard_dir,
+        worker=args.worker_id,
+        policy=_policy_from_args(args),
+        local_cache=local,
+        ttl_s=args.lease_ttl,
+    )
+    t0 = time.perf_counter()
+    report = worker.work(wait=True)
+    merged = merge_shard_dir(args.shard_dir, retry)
+    wall = time.perf_counter() - t0
+    print(
+        f"worker {report.worker}: {len(report.shards_done)} shard(s) done, "
+        f"{len(report.shards_stolen)} stolen, {report.records} record(s)"
+    )
+    if merged.missing:
+        print(
+            f"{len(merged.missing)} spec(s) still missing from "
+            f"{args.shard_dir}; other workers may still be running",
+            file=sys.stderr,
+        )
+    for conflict in merged.conflicts:
+        print(
+            f"CONFLICT {conflict.spec_hash} "
+            f"({', '.join(conflict.workers)}): {conflict.detail}",
+            file=sys.stderr,
+        )
+    code = _print_sweep_table(args, merged.records, wall, "shard")
+    return code if merged.clean else 1
 
 
 def cmd_ensemble(args) -> int:
@@ -469,9 +572,10 @@ def cmd_cache(args) -> int:
     ``repro cache verify`` to assert a clean cache.
     """
     cache = ResultCache(args.cache_dir)
-    audit = {"verify": cache.verify, "gc": cache.gc, "stats": cache.stats}[
-        args.action
-    ]()
+    if args.action == "gc":
+        audit = cache.gc(corrupt_age_s=args.corrupt_age)
+    else:
+        audit = {"verify": cache.verify, "stats": cache.stats}[args.action]()
     print(f"cache {args.cache_dir} ({args.action}):")
     for key, value in audit.to_dict().items():
         if key == "renamed":
@@ -480,6 +584,81 @@ def cmd_cache(args) -> int:
     for path in audit.renamed:
         print(f"  quarantined -> {path}")
     return 0 if audit.clean else 1
+
+
+def cmd_shard(args) -> int:
+    """Distributed sweeps over a shared directory: plan / work / merge / status."""
+    import json as _json
+
+    from repro.distrib import (
+        PlanError,
+        PlanMismatch,
+        ShardPlan,
+        ShardWorker,
+        merge_shard_dir,
+        shard_dir_status,
+    )
+
+    retry = _policy_from_args(args).retry if hasattr(args, "jobs") else None
+    if args.action == "plan":
+        specs = _specs_from_args(args)
+        plan = ShardPlan.build(specs, args.shards)
+        try:
+            plan.publish(args.shard_dir, retry)
+        except PlanMismatch as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            f"published plan {plan.plan_id} to {args.shard_dir}: "
+            f"{len(plan)} specs / {len(plan.shards)} shards"
+        )
+        for shard in plan.shards:
+            print(f"  {shard.shard_id}  {len(shard.specs)} spec(s)")
+        return 0
+
+    if args.action == "work":
+        local = ResultCache(args.cache_dir) if args.cache_dir else None
+        worker = ShardWorker(
+            args.shard_dir,
+            worker=args.worker_id,
+            policy=_policy_from_args(args),
+            local_cache=local,
+            ttl_s=args.lease_ttl,
+            heartbeat_s=args.heartbeat,
+        )
+        try:
+            report = worker.work(wait=args.wait, max_shards=args.max_shards)
+        except PlanError as exc:
+            raise SystemExit(str(exc)) from None
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "merge":
+        try:
+            merged = merge_shard_dir(args.shard_dir, retry)
+        except PlanError as exc:
+            raise SystemExit(str(exc)) from None
+        summary = merged.summary()
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        if args.json:
+            print(f"wrote {write_json(merged.records, args.json)}")
+        if args.csv:
+            print(f"wrote {write_csv(merged.records, args.csv)}")
+        if not merged.complete and not args.allow_partial:
+            print(
+                f"merge incomplete: {len(merged.missing)} spec(s) have no "
+                "record yet (pass --allow-partial to accept)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0 if not merged.conflicts else 1
+
+    try:
+        status = shard_dir_status(args.shard_dir, retry)
+    except PlanError as exc:
+        raise SystemExit(str(exc)) from None
+    print(_json.dumps(status, indent=2, sort_keys=True))
+    counts = status["counts"]
+    return 0 if counts["done"] == len(status["shards"]) else 1
 
 
 def cmd_lint(args) -> int:
@@ -594,32 +773,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(ps)
     _add_runner_flags(ps)
-    ps.add_argument("--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
+    _add_grid_flags(ps)
     ps.add_argument(
-        "--mode", nargs="+", default=["megatron", "dynmo-partition"], choices=MODES
+        "--shard-dir", default=None, metavar="DIR",
+        help="run the sweep distributed over this shared directory: "
+             "publish a shard plan if none exists, work shards (claiming "
+             "leases, stealing from dead workers) until all are done, "
+             "then merge — any number of hosts may run this command "
+             "concurrently against the same directory",
     )
-    ps.add_argument("--seeds", type=int, nargs="+", default=[0])
-    ps.add_argument("--schedule", default="zb", choices=["gpipe", "1f1b", "zb"])
-    _add_topology_flags(ps, multi=True)
-    ps.add_argument(
-        "--repack", action="store_true",
-        help="enable DynMo re-packing (dynmo-* modes); rows record the "
-             "surviving GPU ranks",
-    )
-    ps.add_argument("--repack-target", type=int, default=1, metavar="N",
-                    help="minimum worker count re-packing may shrink to")
-    ps.add_argument("--repack-force", action="store_true",
-                    help="force packing to --repack-target regardless of load")
-    ps.add_argument(
-        "--events", default=None, metavar="TRACE.json",
-        help="apply a cluster-event trace (failures/stragglers/"
-             "recoveries, see `repro events`) to every run; the trace "
-             "content is hashed into each spec so caching stays sound",
-    )
-    ps.add_argument(
-        "--paper-scale", action="store_true",
-        help="run the paper's full 16/24-stage, 10k-iteration grids (slow)",
-    )
+    ps.add_argument("--shards", type=int, default=8, metavar="N",
+                    help="shard count when publishing a new plan "
+                         "(ignored when joining an existing one)")
+    ps.add_argument("--worker-id", default=None, metavar="ID",
+                    help="worker identity in the shard dir "
+                         "(default: <hostname>-<pid>)")
+    ps.add_argument("--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+                    help="heartbeats older than this mark a worker dead "
+                         "and its leases stealable")
     ps.add_argument("--json", default=None, help="write full records to this JSON file")
     ps.add_argument("--csv", default=None, help="write flat rows to this CSV file")
     ps.add_argument(
@@ -725,7 +896,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"cache directory to audit (default: {DEFAULT_CACHE_DIR})",
     )
+    pc.add_argument(
+        "--corrupt-age", type=float, default=None, metavar="SECONDS",
+        help="gc only: reap quarantined *.corrupt files older than this "
+             "(default: reap them all; recent ones are usually still "
+             "wanted for post-mortem)",
+    )
     pc.set_defaults(fn=cmd_cache)
+
+    psh = sub.add_parser(
+        "shard",
+        help="distributed sweeps over a shared directory: publish a "
+             "shard plan, work it from any number of hosts (lease "
+             "claims, heartbeats, work-stealing), merge the journals",
+    )
+    shard_sub = psh.add_subparsers(dest="action", required=True)
+
+    sp = shard_sub.add_parser(
+        "plan", help="split a sweep grid into shards and publish the plan"
+    )
+    _add_common(sp)
+    _add_runner_flags(sp)
+    _add_grid_flags(sp)
+    sp.add_argument("--shard-dir", required=True, metavar="DIR")
+    sp.add_argument("--shards", type=int, default=8, metavar="N",
+                    help="number of contiguous shards to split the grid into")
+    sp.set_defaults(fn=cmd_shard, action="plan", jobs=1, cache_dir=None)
+
+    sw = shard_sub.add_parser(
+        "work",
+        help="claim and execute shards from a published plan "
+             "(run one per host; safe to race)",
+    )
+    _add_runner_flags(sw)
+    sw.add_argument("--shard-dir", required=True, metavar="DIR")
+    sw.add_argument("--worker-id", default=None, metavar="ID",
+                    help="worker identity in the shard dir "
+                         "(default: <hostname>-<pid>)")
+    sw.add_argument("--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+                    help="heartbeats older than this mark a worker dead "
+                         "and its leases stealable")
+    sw.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                    help="heartbeat renewal cadence (default: ttl/3)")
+    sw.add_argument("--wait", action="store_true",
+                    help="poll until every shard is done (steal from dead "
+                         "workers) instead of exiting when nothing is "
+                         "claimable")
+    sw.add_argument("--max-shards", type=int, default=None, metavar="N",
+                    help="stop after completing this many shards")
+    sw.set_defaults(fn=cmd_shard, action="work", jobs=1, cache_dir=None)
+
+    sm = shard_sub.add_parser(
+        "merge",
+        help="merge every worker's shard journals (and the shared "
+             "cache) into one record set, detecting conflicts",
+    )
+    sm.add_argument("--shard-dir", required=True, metavar="DIR")
+    sm.add_argument("--json", default=None,
+                    help="write merged records to this JSON file")
+    sm.add_argument("--csv", default=None,
+                    help="write merged rows to this CSV file")
+    sm.add_argument("--allow-partial", action="store_true",
+                    help="exit 0 even when specs are still missing "
+                         "(workers may still be running)")
+    sm.set_defaults(fn=cmd_shard, action="merge")
+
+    st = shard_sub.add_parser(
+        "status",
+        help="show each shard's state (unclaimed / leased / stale / "
+             "done) and steal history; exit 0 when all are done",
+    )
+    st.add_argument("--shard-dir", required=True, metavar="DIR")
+    st.set_defaults(fn=cmd_shard, action="status")
 
     pl = sub.add_parser(
         "lint",

@@ -1,0 +1,56 @@
+"""Coordinator-less distributed sweeps over a shared filesystem.
+
+The only infrastructure a fleet needs is a directory every worker can
+reach (NFS, Lustre, a bind mount).  ``ShardPlan.build(...).publish(d)``
+splits the grid into content-hashed shards; any number of
+:class:`ShardWorker` processes then claim shards with O_EXCL leases,
+heartbeat while executing, steal from the dead, and share results
+through a checksummed two-tier cache; :func:`merge_shard_dir`
+reconstructs the single-host sweep's rows from whatever survived.
+
+See ``docs/distributed-sweeps.md`` for the protocol and its
+crash-consistency guarantees.
+"""
+
+from repro.distrib.cache import TieredResultCache
+from repro.distrib.layout import ShardDirLayout, safe_name
+from repro.distrib.lease import DEFAULT_TTL_S, Lease, LeaseManager
+from repro.distrib.merge import (
+    WALL_TIME_FIELDS,
+    MergeConflict,
+    MergeResult,
+    comparable_payload,
+    merge_shard_dir,
+    shard_dir_status,
+)
+from repro.distrib.plan import (
+    PLAN_SCHEMA_VERSION,
+    PlanError,
+    PlanMismatch,
+    Shard,
+    ShardPlan,
+)
+from repro.distrib.worker import ShardWorker, WorkReport, default_worker_id
+
+__all__ = [
+    "DEFAULT_TTL_S",
+    "PLAN_SCHEMA_VERSION",
+    "WALL_TIME_FIELDS",
+    "Lease",
+    "LeaseManager",
+    "MergeConflict",
+    "MergeResult",
+    "PlanError",
+    "PlanMismatch",
+    "Shard",
+    "ShardDirLayout",
+    "ShardPlan",
+    "ShardWorker",
+    "TieredResultCache",
+    "WorkReport",
+    "comparable_payload",
+    "default_worker_id",
+    "merge_shard_dir",
+    "safe_name",
+    "shard_dir_status",
+]

@@ -1,0 +1,87 @@
+"""On-disk layout of a shard directory (the shared sweep state).
+
+A shard directory is the *only* coordination channel between workers —
+there is no coordinator process.  Everything in it is either written
+atomically (temp file + ``os.replace``), created exclusively
+(``O_EXCL`` lease claims), or append-only with torn-tail-tolerant
+readers (journals), so any worker can die at any instruction and the
+directory never ends up in a state the others cannot interpret::
+
+    <shard-dir>/
+      plan.json                      # the published ShardPlan
+      leases/<shard>.lease           # O_EXCL claim by one worker
+      leases/<shard>.heartbeat       # atomically rewritten on a cadence
+      leases/<shard>.expired.<w>.<n> # tombstone left by a lease steal
+      done/<shard>.json              # completion marker (atomic)
+      journals/<shard>.<worker>.jsonl  # per-worker shard journals
+      poison/<spec_hash>.json        # propagated poison-spec quarantine
+      cache/                         # shared ResultCache tier
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+#: characters allowed in worker ids and shard ids used as file names
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def safe_name(name: str) -> str:
+    """Collapse a free-form id into a filesystem-safe token."""
+    cleaned = _SAFE.sub("-", name).strip("-.")
+    return cleaned or "worker"
+
+
+class ShardDirLayout:
+    """Resolved paths inside one shard directory."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+
+    @property
+    def plan_path(self) -> Path:
+        return self.root / "plan.json"
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / "leases"
+
+    @property
+    def done_dir(self) -> Path:
+        return self.root / "done"
+
+    @property
+    def journals_dir(self) -> Path:
+        return self.root / "journals"
+
+    @property
+    def poison_dir(self) -> Path:
+        return self.root / "poison"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    def ensure(self) -> "ShardDirLayout":
+        """Create every subdirectory (idempotent, safe to race)."""
+        for path in (
+            self.root,
+            self.leases_dir,
+            self.done_dir,
+            self.journals_dir,
+            self.poison_dir,
+            self.cache_dir,
+        ):
+            path.mkdir(parents=True, exist_ok=True)
+        return self
+
+    def done_path(self, shard_id: str) -> Path:
+        return self.done_dir / f"{shard_id}.json"
+
+    def journal_path(self, shard_id: str, worker: str) -> Path:
+        return self.journals_dir / f"{shard_id}.{safe_name(worker)}.jsonl"
+
+    def poison_path(self, spec_hash: str) -> Path:
+        return self.poison_dir / f"{spec_hash}.json"

@@ -33,7 +33,11 @@ from repro.orchestrator.ensemble import (
     sample_specs,
 )
 from repro.orchestrator.faults import FaultPlan
-from repro.orchestrator.journal import SweepJournal
+from repro.orchestrator.journal import (
+    JournalSchemaError,
+    SweepJournal,
+    iter_journal_entries,
+)
 from repro.orchestrator.results import RunRecord, SweepError, result_metrics
 from repro.orchestrator.retry import RetryPolicy
 from repro.orchestrator.runner import (
@@ -59,6 +63,7 @@ __all__ = [
     "EnsembleStats",
     "ExecutionPolicy",
     "FaultPlan",
+    "JournalSchemaError",
     "ResultCache",
     "RetryPolicy",
     "RunRecord",
@@ -70,6 +75,7 @@ __all__ = [
     "SweepTimeout",
     "clear_quarantine",
     "execute_spec",
+    "iter_journal_entries",
     "quarantine_spec",
     "quarantined",
     "quarantined_hashes",

@@ -30,6 +30,7 @@ import itertools
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -67,6 +68,8 @@ class CacheAudit:
     tmp: int = 0
     #: previously quarantined ``*.corrupt`` files present
     quarantined: int = 0
+    #: bytes held by quarantined ``*.corrupt`` files
+    quarantined_bytes: int = 0
     #: files removed (gc only)
     removed: int = 0
     bytes_total: int = 0
@@ -84,6 +87,7 @@ class CacheAudit:
             "stale": self.stale,
             "tmp": self.tmp,
             "quarantined": self.quarantined,
+            "quarantined_bytes": self.quarantined_bytes,
             "removed": self.removed,
             "bytes_total": self.bytes_total,
             "renamed": list(self.renamed),
@@ -182,6 +186,18 @@ class ResultCache:
         faults.on_cache_put(path)
 
     # -- audit and maintenance ----------------------------------------------
+    def _tally_side_files(self, audit: CacheAudit) -> None:
+        """Count orphaned temps and quarantined files (and their bytes)."""
+        audit.tmp = sum(1 for _ in self.root.glob("*.tmp.*"))
+        audit.quarantined = 0
+        audit.quarantined_bytes = 0
+        for path in self.root.glob(f"*{CORRUPT_SUFFIX}"):
+            audit.quarantined += 1
+            try:
+                audit.quarantined_bytes += path.stat().st_size
+            except OSError:
+                continue
+
     def verify(self) -> CacheAudit:
         """Audit every entry; quarantine (rename) any corrupt ones."""
         audit = CacheAudit()
@@ -198,19 +214,21 @@ class ResultCache:
                 audit.renamed.append(str(self._quarantine(path)))
             else:
                 audit.stale += 1
-        audit.tmp = sum(1 for _ in self.root.glob("*.tmp.*"))
-        audit.quarantined = sum(
-            1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}")
-        )
+        self._tally_side_files(audit)
         return audit
 
-    def gc(self) -> CacheAudit:
+    def gc(self, corrupt_age_s: float | None = None) -> CacheAudit:
         """Reap stale entries, quarantined files, and orphaned temps.
 
         Healthy entries are untouched; the returned audit's ``removed``
         counts what was deleted.  Corrupt entries found during the scan
         are quarantined first (so the audit records them) and then
-        removed with the rest of the quarantine.
+        reaped with the rest of the quarantine.
+
+        ``corrupt_age_s`` keeps *recent* ``*.corrupt`` files for
+        post-mortem: only quarantined files whose mtime is older than
+        the threshold are removed (``None`` reaps them all).  Without a
+        periodic ``gc`` the quarantine otherwise accumulates forever.
         """
         audit = self.verify()
         for path in sorted(self.root.glob("*.json")):
@@ -218,12 +236,23 @@ class ResultCache:
             if fate == self._STALE:
                 path.unlink(missing_ok=True)
                 audit.removed += 1
-        for pattern in (f"*{CORRUPT_SUFFIX}", "*.tmp.*"):
-            for path in sorted(self.root.glob(pattern)):
-                path.unlink(missing_ok=True)
-                audit.removed += 1
-        audit.tmp = 0
-        audit.quarantined = 0
+        # age is operational bookkeeping (file mtime vs. now), not a
+        # simulated-result input  # repro: ignore[RPR102]
+        now = time.time()
+        for path in sorted(self.root.glob(f"*{CORRUPT_SUFFIX}")):
+            if corrupt_age_s is not None:
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue  # vanished under us
+                if age < corrupt_age_s:
+                    continue  # recent quarantine: keep for audit
+            path.unlink(missing_ok=True)
+            audit.removed += 1
+        for path in sorted(self.root.glob("*.tmp.*")):
+            path.unlink(missing_ok=True)
+            audit.removed += 1
+        self._tally_side_files(audit)
         return audit
 
     def stats(self) -> CacheAudit:
@@ -242,10 +271,7 @@ class ResultCache:
                 audit.corrupt += 1
             else:
                 audit.stale += 1
-        audit.tmp = sum(1 for _ in self.root.glob("*.tmp.*"))
-        audit.quarantined = sum(
-            1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}")
-        )
+        self._tally_side_files(audit)
         return audit
 
     def __len__(self) -> int:

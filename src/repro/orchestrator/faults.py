@@ -21,6 +21,20 @@ plants seams in the execution pipeline that an installed
   installed plan records them (and can suppress the actual sleeping),
   so tests assert the exact deterministic schedule.
 
+Distributed-sweep seams (see :mod:`repro.distrib`):
+
+* ``on_shard_claim`` — kill the whole **shard worker** process when it
+  claims the Nth shard (or a named shard id), simulating host death:
+  the lease stays behind, the heartbeat goes stale, and a live worker
+  must steal the shard.
+* ``on_heartbeat`` — suppress lease-heartbeat renewals past a count,
+  simulating a stalled-but-alive host (straggler); its leases expire
+  and are stolen even though the process never died.
+* ``on_journal_append`` — truncate the journal file mid-line after the
+  Nth append, simulating a worker that died with a write torn in half;
+  loaders must skip the torn line, and the shard merge must backfill
+  the lost record from the shared result cache.
+
 Everything is deterministic: which ops fault is named by the plan
 (spec hashes and 1-based operation counts), and the corrupted byte
 offset is derived from a seeded content hash — no wall clock, no
@@ -76,6 +90,19 @@ class FaultPlan:
     interrupt_after_records: tuple[int, ...] = ()
     #: suppress real sleeping in :func:`sleep` (pauses still recorded)
     no_sleep: bool = False
+    #: 1-based shard-claim counts that kill this worker process (host
+    #: death: the lease survives, the heartbeat stops)
+    die_on_claims: tuple[int, ...] = ()
+    #: shard ids whose claim kills the worker process
+    die_on_shards: tuple[str, ...] = ()
+    #: stop renewing lease heartbeats after this many renewals
+    #: (``0`` stalls immediately); None = heartbeats run normally
+    stall_heartbeats_after: int | None = None
+    #: 1-based journal-append counts after which the journal file is
+    #: truncated mid-line (a torn write from a dying worker)
+    tear_journal_appends: tuple[int, ...] = ()
+    #: how many trailing bytes each torn append loses
+    tear_bytes: int = 7
     #: folded into the corrupted-byte offset derivation
     seed: int = 0
 
@@ -215,6 +242,64 @@ def on_record(done: int) -> None:
         return
     if done in plan.interrupt_after_records and os.getpid() == _OWNER_PID:
         signal.raise_signal(signal.SIGINT)
+
+
+def on_shard_claim(shard_id: str) -> None:
+    """Seam after a shard lease is claimed: injected host death.
+
+    Fires in the claiming worker's process (never the owner), after
+    the lease file exists but before any spec executes — the shard is
+    left claimed-but-dead, exactly what a machine loss looks like to
+    the other workers.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    n = _bump("shard_claim")
+    if os.getpid() == _OWNER_PID:
+        return
+    if n in plan.die_on_claims or shard_id in plan.die_on_shards:
+        if _kill_permitted(plan):
+            os._exit(plan.kill_exit_code)
+
+
+def on_heartbeat(shard_id: str) -> bool:
+    """Seam before each lease-heartbeat renewal; False suppresses it.
+
+    A stalled heartbeat simulates a host that is alive but wedged: the
+    lease goes stale past its TTL and a live worker steals the shard,
+    while this process keeps (uselessly) running.
+    """
+    plan = _PLAN
+    if plan is None or plan.stall_heartbeats_after is None:
+        return True
+    n = _bump("heartbeat")
+    return n <= plan.stall_heartbeats_after
+
+
+def tear_file(path: str | os.PathLike[str], nbytes: int) -> int:
+    """Truncate ``path`` by ``nbytes`` trailing bytes; returns new size.
+
+    Models a writer that died mid-write: the final line loses its tail
+    (including the newline), so a line-oriented reader must treat it as
+    torn and skip it.
+    """
+    p = Path(path)
+    size = p.stat().st_size
+    new_size = max(0, size - max(1, nbytes))
+    with open(p, "rb+") as fh:
+        fh.truncate(new_size)
+    return new_size
+
+
+def on_journal_append(path: str | os.PathLike[str]) -> None:
+    """Seam after a journal line lands on disk: torn-write injection."""
+    plan = _PLAN
+    if plan is None:
+        return
+    n = _bump("journal_append")
+    if n in plan.tear_journal_appends:
+        tear_file(path, plan.tear_bytes)
 
 
 def sleep(seconds: float) -> None:

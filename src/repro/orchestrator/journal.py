@@ -12,9 +12,16 @@ corrupt journal.
 
 File format (one JSON object per line)::
 
-    {"kind": "header", "journal_schema": 1, "record_schema": ..., ...}
+    {"kind": "header", "journal_schema": 2, "record_schema": ...,
+     "spec_schema": ...}
     {"kind": "record", ...RunRecord.to_dict()...}
     {"kind": "record", ...}
+
+The header pins the :data:`~repro.orchestrator.spec.SPEC_SCHEMA_VERSION`
+the journal was written under.  Resuming a journal whose spec schema
+does not match the running code raises :class:`JournalSchemaError`
+instead of silently treating old rows as valid — a resumed row must
+mean the same thing it meant when it was written.
 
 On resume the journal is re-read; the *last* entry per spec hash wins,
 so a spec that failed and was later re-run resolves to its newest
@@ -29,11 +36,62 @@ import json
 import os
 from pathlib import Path
 from types import TracebackType
-from typing import Any, TextIO
+from typing import Any, Iterator, TextIO
 
+from repro.orchestrator import faults
 from repro.orchestrator.results import RECORD_SCHEMA_VERSION, RunRecord
+from repro.orchestrator.spec import SPEC_SCHEMA_VERSION
 
-JOURNAL_SCHEMA_VERSION = 1
+JOURNAL_SCHEMA_VERSION = 2
+
+
+class JournalSchemaError(ValueError):
+    """A journal's spec schema does not match the running code.
+
+    Raised on resume: serving rows written under a different
+    ``SPEC_SCHEMA_VERSION`` would silently reinterpret old specs under
+    new semantics.  The remedy is a fresh journal (or re-running the
+    sweep), never a silent partial resume.
+    """
+
+
+def iter_journal_entries(
+    path: str | os.PathLike[str],
+) -> Iterator[dict[str, Any]]:
+    """Yield parsed JSON entries from a journal file, skipping damage.
+
+    Torn-tail tolerant by construction: an incomplete or otherwise
+    unparseable line (including a line torn mid-write by a dying
+    worker) is skipped, never fatal.  Callers filter on ``kind``.
+    """
+    with Path(path).open("r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict):
+                yield entry
+
+
+def check_journal_header(header: dict[str, Any], path: Path) -> None:
+    """Raise :class:`JournalSchemaError` unless ``header`` matches us."""
+    spec_schema = header.get("spec_schema")
+    if spec_schema != SPEC_SCHEMA_VERSION:
+        found = (
+            f"spec schema {spec_schema}"
+            if spec_schema is not None
+            else "no spec schema (written before schema tracking)"
+        )
+        raise JournalSchemaError(
+            f"journal {path} was written under {found}, but this code "
+            f"runs spec schema {SPEC_SCHEMA_VERSION}; its rows cannot be "
+            "resumed safely — start a fresh journal (or re-run the sweep "
+            "without --resume)"
+        )
 
 
 class SweepJournal:
@@ -59,6 +117,7 @@ class SweepJournal:
 
     def _load(self) -> None:
         with self.path.open("r", encoding="utf-8", errors="replace") as fh:
+            saw_header = False
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -68,8 +127,25 @@ class SweepJournal:
                 except ValueError:
                     self.skipped_lines += 1
                     continue
-                if not isinstance(entry, dict) or entry.get("kind") != "record":
+                if not isinstance(entry, dict):
                     continue
+                if entry.get("kind") == "header":
+                    # a mismatched spec schema poisons every row after
+                    # it: refuse the resume outright, loudly
+                    check_journal_header(entry, self.path)
+                    saw_header = True
+                    continue
+                if entry.get("kind") != "record":
+                    continue
+                if not saw_header:
+                    # records with no (parseable) header: the schema
+                    # they were written under is unknowable — refusing
+                    # beats guessing
+                    raise JournalSchemaError(
+                        f"journal {self.path} has records before any "
+                        "header line, so its spec schema is unknown; "
+                        "start a fresh journal"
+                    )
                 if entry.get("schema") != RECORD_SCHEMA_VERSION:
                     self.skipped_lines += 1
                     continue
@@ -91,6 +167,7 @@ class SweepJournal:
                         "kind": "header",
                         "journal_schema": JOURNAL_SCHEMA_VERSION,
                         "record_schema": RECORD_SCHEMA_VERSION,
+                        "spec_schema": SPEC_SCHEMA_VERSION,
                     }
                 )
         return self._fh
@@ -103,11 +180,22 @@ class SweepJournal:
         fh.flush()
         os.fsync(fh.fileno())
 
-    def append(self, record: RunRecord) -> None:
-        """Durably journal one landed record (atomic line, fsync'd)."""
+    def append(
+        self, record: RunRecord, *, extra: dict[str, Any] | None = None
+    ) -> None:
+        """Durably journal one landed record (atomic line, fsync'd).
+
+        ``extra`` keys (e.g. the executing worker's id in a distributed
+        sweep) ride on the journal line without entering the record
+        schema — ``RunRecord.from_dict`` ignores them on load.
+        """
         self._open()
-        self._write_line({"kind": "record", **record.to_dict()})
+        line = {"kind": "record", **record.to_dict()}
+        if extra:
+            line.update(extra)
+        self._write_line(line)
         self.prior[record.spec_hash] = record
+        faults.on_journal_append(self.path)
 
     def statuses(self) -> dict[str, int]:
         """Count of journaled specs by their latest status."""

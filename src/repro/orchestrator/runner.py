@@ -305,9 +305,16 @@ def _spec_metrics(setup: Any, result: Any) -> dict[str, Any]:
     return metrics
 
 
-def _run_spec(spec: RunSpec) -> dict[str, Any]:
+def _run_spec(spec: RunSpec, deadline_s: float | None = None) -> dict[str, Any]:
+    from repro.training.trainer import RunDeadlineExceeded
+
     setup, trainer = _spec_scenario_and_trainer(spec)
-    return _spec_metrics(setup, trainer.run())
+    try:
+        result = trainer.run(deadline_s=deadline_s)
+    except RunDeadlineExceeded as exc:
+        # same record shape as the SIGALRM path: status="timeout"
+        raise SweepTimeout(str(exc)) from None
+    return _spec_metrics(setup, result)
 
 
 def _error_record(spec: RunSpec, exc: BaseException, duration: float = 0.0) -> RunRecord:
@@ -354,12 +361,17 @@ def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunRecord:
     start = time.perf_counter()
     try:
         with _deadline(timeout_s) as armed:
-            metrics = _run_spec(spec)
+            # when the alarm cannot arm (off the main thread, or no
+            # SIGALRM — e.g. shard-worker mode) the trainer enforces
+            # the budget itself with monotonic-clock checks between
+            # iterations, so over-budget runs still stop mid-flight
+            metrics = _run_spec(
+                spec, deadline_s=timeout_s if timeout_s and not armed else None
+            )
         duration = time.perf_counter() - start
         if timeout_s and not armed and duration > timeout_s:
-            # the alarm could not be armed (off the main thread, or no
-            # SIGALRM); enforce the budget post-hoc so over-budget runs
-            # are recorded consistently instead of silently passing
+            # backstop for budgets blown inside a single iteration or
+            # during scenario setup, where no deadline check ran
             return _timeout_record(
                 spec,
                 f"exceeded {timeout_s:.0f}s budget "

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -35,6 +36,15 @@ from repro.pipeline.engine import IterationResult, PipelineEngine
 from repro.pipeline.migration import diff_plans
 from repro.pipeline.plan import PipelinePlan
 from repro.training.config import TrainingConfig
+
+
+class RunDeadlineExceeded(RuntimeError):
+    """A training run blew its wall-clock budget (monotonic check).
+
+    Raised by :meth:`Trainer.run` between iterations when
+    ``deadline_s`` is set; the sweep runner maps it to a
+    ``status="timeout"`` record exactly like the ``SIGALRM`` path.
+    """
 
 
 def states_fingerprint(states: list[LayerState], out: np.ndarray | None = None) -> bytes:
@@ -633,7 +643,10 @@ class Trainer:
 
     # -- main loop ----------------------------------------------------------
     def run(
-        self, iterations: int | None = None, prewarm: bool | None = None
+        self,
+        iterations: int | None = None,
+        prewarm: bool | None = None,
+        deadline_s: float | None = None,
     ) -> TrainingResult:
         """Run the training loop.
 
@@ -641,13 +654,29 @@ class Trainer:
         states when no controller is attached — bit-identical results,
         one vectorized engine call instead of one scalar call per
         distinct state.
+
+        ``deadline_s`` bounds the run's *wall-clock* time with a
+        monotonic-clock check between iterations, raising
+        :class:`RunDeadlineExceeded` when the budget is spent.  This is
+        the signal-free timeout path: it works off the main thread and
+        on platforms without ``SIGALRM``, where the sweep runner cannot
+        arm an alarm.  Simulated time is unaffected.
         """
+        start = time.monotonic() if deadline_s is not None else 0.0
         st = self._begin_run(iterations)
         if prewarm is None:
             prewarm = self.controller is None and st.iters > 1
         if prewarm:
             self.prewarm(st.iters)
         for k in range(st.iters):
+            if (
+                deadline_s is not None
+                and time.monotonic() - start > deadline_s
+            ):
+                raise RunDeadlineExceeded(
+                    f"exceeded {deadline_s:.0f}s budget (monotonic "
+                    f"deadline check at iteration {k}/{st.iters})"
+                )
             self._pre_iteration(st, k)
             self._post_iteration(st, k, self._iteration_result())
         return self._finish_run(st)

@@ -232,10 +232,10 @@ class TestBatchedExecutor:
         assert sorted(seen) == [(1, 3), (2, 3), (3, 3)]
 
 
-class TestPostHocTimeout:
+class TestDeadlineTimeout:
     """Budgets are enforced even where SIGALRM cannot be armed."""
 
-    def test_off_main_thread_budget_is_enforced_post_hoc(self):
+    def test_off_main_thread_budget_uses_monotonic_deadline(self):
         import threading
 
         results = []
@@ -246,7 +246,7 @@ class TestPostHocTimeout:
         thread.join()
         (record,) = results
         assert record.status == "timeout"
-        assert "post-hoc" in (record.error or "")
+        assert "monotonic" in (record.error or "")
 
     def test_deadline_reports_armed_state(self):
         with _deadline(5) as armed:
