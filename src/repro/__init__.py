@@ -26,7 +26,7 @@ from repro.model import GPTConfig, ModelCost, build_layer_specs
 from repro.pipeline import PipelineEngine, PipelinePlan
 from repro.training import Trainer, TrainingConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # the stable orchestration facade (repro.api) re-exported at top level;
 # imported after __version__ so repro.orchestrator.spec can hash it
@@ -34,11 +34,14 @@ from repro.api import (  # noqa: E402
     EnsembleResult,
     ExecutionPolicy,
     MergeResult,
+    PlacementOOMError,
     RetryPolicy,
     RunRecord,
     RunSpec,
     ShardPlan,
     ShardWorker,
+    StageMemoryModel,
+    StageMemoryReport,
     SweepInterrupted,
     SweepJournal,
     TraceDistribution,
@@ -65,11 +68,14 @@ __all__ = [
     "EnsembleResult",
     "ExecutionPolicy",
     "MergeResult",
+    "PlacementOOMError",
     "RetryPolicy",
     "RunRecord",
     "RunSpec",
     "ShardPlan",
     "ShardWorker",
+    "StageMemoryModel",
+    "StageMemoryReport",
     "SweepInterrupted",
     "SweepJournal",
     "TraceDistribution",

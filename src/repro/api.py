@@ -21,7 +21,9 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
+from repro.cluster.memory import PlacementOOMError
 from repro.distrib.merge import MergeResult, merge_shard_dir, shard_dir_status
+from repro.model.memory import StageMemoryModel, StageMemoryReport
 from repro.distrib.plan import ShardPlan
 from repro.distrib.worker import ShardWorker, WorkReport
 from repro.orchestrator.cache import ResultCache
@@ -46,12 +48,15 @@ __all__ = [
     "EnsembleResult",
     "ExecutionPolicy",
     "MergeResult",
+    "PlacementOOMError",
     "ResultCache",
     "RetryPolicy",
     "RunRecord",
     "RunSpec",
     "ShardPlan",
     "ShardWorker",
+    "StageMemoryModel",
+    "StageMemoryReport",
     "SweepInterrupted",
     "SweepJournal",
     "TraceDistribution",

@@ -118,6 +118,32 @@ def _add_topology_flags(p: argparse.ArgumentParser, multi: bool = False) -> None
     )
 
 
+def _add_memory_flags(p: argparse.ArgumentParser) -> None:
+    """Memory/precision knobs shared by sweep, ensemble and fig-maxmodel."""
+    p.add_argument(
+        "--precision", default="mixed", choices=["mixed", "full"],
+        help="parameter/optimizer byte accounting: 'mixed' (fp16 weights "
+             "+ fp32 master, the legacy default) or 'full' (fp32 "
+             "everywhere, no master copy); affects memory only, never "
+             "timing",
+    )
+    p.add_argument(
+        "--recompute", action="store_true",
+        help="model activation recomputation: only one micro-batch of "
+             "activations is ever resident (and the backward pass "
+             "replays the forward, as ModelCost already charges)",
+    )
+    p.add_argument(
+        "--memory-limit", default="", metavar="BYTES|auto",
+        help="enforce the per-stage memory model: 'auto' caps each stage "
+             "at its placed ranks' own device capacity, a byte count "
+             "like 40e9 caps every stage at that budget; runs that "
+             "exceed it land as deterministic, cacheable status='oom' "
+             "rows (default: no enforcement, bit-identical legacy "
+             "accounting)",
+    )
+
+
 def _add_grid_flags(p: argparse.ArgumentParser) -> None:
     """The sweep-grid axes shared by ``sweep`` and ``shard plan``."""
     p.add_argument("--scenario", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
@@ -146,6 +172,7 @@ def _add_grid_flags(p: argparse.ArgumentParser) -> None:
         "--paper-scale", action="store_true",
         help="run the paper's full 16/24-stage, 10k-iteration grids (slow)",
     )
+    _add_memory_flags(p)
 
 
 def _policy_from_args(args) -> ExecutionPolicy:
@@ -243,6 +270,41 @@ def cmd_overhead(args) -> int:
     return 0
 
 
+def cmd_fig_maxmodel(args) -> int:
+    from repro.experiments import run_fig_maxmodel
+
+    with _runner_from_args(args) as runner:
+        rows = run_fig_maxmodel(
+            scenario=args.scenario[0],
+            depths=tuple(args.depths),
+            clusters=tuple(args.clusters),
+            iterations=args.iterations,
+            with_failure=not args.no_failure,
+            precision=args.precision,
+            recompute=args.recompute,
+            memory_limit=args.memory_limit or "auto",
+            schedule=args.schedule,
+            balance_cost=args.balance_cost,
+            runner=runner,
+        )
+    # flatten the per-depth cells into one status column per row
+    table = []
+    for row in rows:
+        flat = {"cluster": row["cluster"], "gpus": row["gpus"],
+                "max_layers": row["max_layers"]}
+        if "max_layers_faulty" in row:
+            flat["max_layers_faulty"] = row["max_layers_faulty"]
+        for cell in row["cells"]:
+            tag = f"L{cell['layers']}" + ("+fail" if cell["faulty"] else "")
+            flat[tag] = f"{cell['status']} ({cell['peak_gib']:.1f} GiB)"
+        table.append(flat)
+    print(ascii_table(
+        table,
+        title="fig-maxmodel — max trainable depth per cluster shape",
+    ))
+    return 0
+
+
 def _specs_from_args(args) -> list[RunSpec]:
     """Build the (scenario x mode x depth x seed x placement) grid."""
     events_json = ""
@@ -281,6 +343,9 @@ def _specs_from_args(args) -> list[RunSpec]:
             repack_target=args.repack_target,
             repack_force=args.repack_force,
             cluster_events=events_json,
+            precision=args.precision,
+            recompute=args.recompute,
+            memory_limit=args.memory_limit,
         )
         for scenario in args.scenario
         for mode in args.mode
@@ -304,16 +369,22 @@ def _print_sweep_table(args, records, wall: float, jobs_label: str) -> int:
         columns += ["events_applied", "final_num_stages"]
     print(ascii_table(rows, columns=columns, title="Sweep results"))
     n_ok = sum(r.ok for r in records)
+    n_oom = sum(r.status == "oom" for r in records)
+    n_failed = len(records) - n_ok - n_oom
     n_cached = sum(r.cached for r in records)
+    # oom rows are deterministic verdicts, not failures: they appear in
+    # the summary only when present (keeping the usual line stable) and
+    # never fail the sweep's exit code
+    oom_part = f"{n_oom} oom, " if n_oom else ""
     print(
-        f"{len(records)} runs: {n_ok} ok, {len(records) - n_ok} failed, "
+        f"{len(records)} runs: {n_ok} ok, {oom_part}{n_failed} failed, "
         f"{n_cached} from cache, {wall:.1f}s wall, jobs={jobs_label}"
     )
     if args.json:
         print(f"wrote {write_json(records, args.json)}")
     if args.csv:
         print(f"wrote {write_csv(records, args.csv)}")
-    return 0 if n_ok == len(records) else 1
+    return 0 if n_failed == 0 else 1
 
 
 def cmd_sweep(args) -> int:
@@ -437,6 +508,9 @@ def cmd_ensemble(args) -> int:
             balance_cost=args.balance_cost,
             placement=args.placement,
             cluster=args.cluster or "",
+            precision=args.precision,
+            recompute=args.recompute,
+            memory_limit=args.memory_limit,
         )
         for scenario in args.scenario
         for mode in args.mode
@@ -767,6 +841,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     po.set_defaults(fn=cmd_overhead)
 
+    pm = sub.add_parser(
+        "fig-maxmodel",
+        help="max trainable model depth per cluster shape, healthy and "
+             "under a mid-run stage failure (per-stage memory model)",
+    )
+    _add_runner_flags(pm)
+    pm.add_argument(
+        "--scenario", nargs="+", default=["pruning"], choices=SCENARIOS
+    )
+    pm.add_argument("--depths", type=int, nargs="+", default=[24, 32, 40, 48],
+                    help="model depths (layer counts) to probe")
+    pm.add_argument(
+        "--clusters", nargs="+",
+        default=["1x2", "1x4", "1x8", "2x8+2x4:a100"],
+        metavar="SPEC",
+        help="cluster shapes to probe, e.g. '1x8' or '2x8+2x4:a100'",
+    )
+    pm.add_argument("--iterations", type=int, default=60)
+    pm.add_argument("--schedule", default="zb", choices=["gpipe", "1f1b", "zb"])
+    pm.add_argument("--no-failure", action="store_true",
+                    help="skip the faulty variant of each cell")
+    _add_memory_flags(pm)
+    pm.set_defaults(fn=cmd_fig_maxmodel, cache_dir=DEFAULT_CACHE_DIR)
+
     ps = sub.add_parser(
         "sweep",
         help="run a (scenario x mode x depth x seed) grid via the process pool",
@@ -850,6 +948,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="re-execute every run, refreshing any cached entries",
     )
+    _add_memory_flags(pn)
     pn.set_defaults(fn=cmd_ensemble, jobs=0, cache_dir=DEFAULT_CACHE_DIR)
 
     pe = sub.add_parser(

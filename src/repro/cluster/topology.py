@@ -41,8 +41,11 @@ REFERENCE_GPU = GPUSpec()
 
 #: Known device models for ``parse_cluster`` suffixes.
 GPU_MODELS: dict[str, GPUSpec] = {
-    "h100": GPUSpec(),
+    "h100": GPUSpec(),  # H100-SXM5: 80 GB, 989e12 fp16 FLOPs
     "a100": GPUSpec("A100-SXM4", memory_bytes=40 * 1024**3, peak_flops=312e12),
+    "a100-80g": GPUSpec(
+        "A100-SXM4-80GB", memory_bytes=80 * 1024**3, peak_flops=312e12
+    ),
     "v100": GPUSpec("V100-SXM2", memory_bytes=32 * 1024**3, peak_flops=125e12),
 }
 

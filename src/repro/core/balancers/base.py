@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -37,7 +38,9 @@ class LoadBalancer(ABC):
 
     ``memory_per_layer`` and ``memory_capacity`` (optional) enforce the
     paper's per-worker memory constraint: a plan is feasible only if
-    every stage's summed layer memory fits.
+    every stage's summed layer memory fits.  ``memory_capacity`` is
+    either one scalar for all stages or one capacity per stage
+    (heterogeneous clusters place different devices per stage).
     """
 
     name: str = "balancer"
@@ -48,7 +51,7 @@ class LoadBalancer(ABC):
         plan: PipelinePlan,
         weights: np.ndarray,
         memory_per_layer: np.ndarray | None = None,
-        memory_capacity: float | None = None,
+        memory_capacity: "float | Sequence[float] | None" = None,
     ) -> BalanceResult:
         ...
 
@@ -67,9 +70,35 @@ class LoadBalancer(ABC):
     def plan_feasible(
         plan: PipelinePlan,
         memory_per_layer: np.ndarray | None,
-        memory_capacity: float | None,
+        memory_capacity: "float | Sequence[float] | None",
     ) -> bool:
         if memory_per_layer is None or memory_capacity is None:
             return True
         mem = plan.stage_loads(memory_per_layer)
+        if not np.isscalar(memory_capacity):
+            caps = np.asarray(memory_capacity, dtype=float)
+            if caps.shape != mem.shape:
+                raise ValueError(
+                    f"got {caps.shape[0]} stage capacities for "
+                    f"{mem.shape[0]} stages"
+                )
+            return bool((mem <= caps).all())
         return bool((mem <= memory_capacity).all())
+
+    @staticmethod
+    def scalar_capacity(
+        memory_capacity: "float | Sequence[float] | None",
+    ) -> float | None:
+        """Conservative scalar view of a (possibly per-stage) capacity.
+
+        Partitioning algorithms whose inner loops reason about one
+        scalar bound (binary-search probe, DP recurrence) reduce a
+        per-stage vector to its minimum: any partition feasible under
+        the minimum is feasible under every stage's true capacity.
+        """
+        if memory_capacity is None or np.isscalar(memory_capacity):
+            return memory_capacity  # type: ignore[return-value]
+        caps = np.asarray(memory_capacity, dtype=float)
+        if caps.size == 0:
+            return None
+        return float(caps.min())

@@ -27,6 +27,8 @@ produce.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.balancers.base import BalanceResult, LoadBalancer
@@ -66,7 +68,7 @@ class DiffusionBalancer(LoadBalancer):
         w: np.ndarray,
         b: int,
         memory: np.ndarray | None,
-        capacity: float | None,
+        capacity: "float | Sequence[float] | None",
     ) -> PipelinePlan | None:
         """Move layers across internal boundary ``b`` down the excess
         gradient while each move strictly reduces |e(b)|."""
@@ -100,7 +102,7 @@ class DiffusionBalancer(LoadBalancer):
         plan: PipelinePlan,
         weights: np.ndarray,
         memory_per_layer: np.ndarray | None = None,
-        memory_capacity: float | None = None,
+        memory_capacity: "float | Sequence[float] | None" = None,
     ) -> BalanceResult:
         w = self._validate(plan, weights)
         before = plan.stage_loads(w)

@@ -10,6 +10,8 @@ re-packing gate uses to pick how far a shrunken model can fold.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.balancers.base import BalanceResult, LoadBalancer
@@ -104,12 +106,15 @@ class DPExactBalancer(LoadBalancer):
         plan: PipelinePlan,
         weights: np.ndarray,
         memory_per_layer: np.ndarray | None = None,
-        memory_capacity: float | None = None,
+        memory_capacity: "float | Sequence[float] | None" = None,
     ) -> BalanceResult:
         w = self._validate(plan, weights)
         before = plan.stage_loads(w)
+        # the DP recurrence carries one scalar bound; per-stage capacity
+        # vectors conservatively collapse to their minimum
         new_plan, _ = dp_partition(
-            w, plan.num_stages, memory_per_layer, memory_capacity
+            w, plan.num_stages, memory_per_layer,
+            self.scalar_capacity(memory_capacity),
         )
         after = new_plan.stage_loads(w)
         if after.max() > before.max():

@@ -9,6 +9,8 @@ runs on worker w), so this stays O(S n²).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.balancers.base import BalanceResult, LoadBalancer
@@ -68,7 +70,7 @@ class HeteroPartitionBalancer(LoadBalancer):
         plan: PipelinePlan,
         weights: np.ndarray,
         memory_per_layer: np.ndarray | None = None,
-        memory_capacity: float | None = None,
+        memory_capacity: "float | Sequence[float] | None" = None,
     ) -> BalanceResult:
         w = self._validate(plan, weights)
         if self.speeds.shape[0] != plan.num_stages:

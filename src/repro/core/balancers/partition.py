@@ -16,6 +16,8 @@ ratio for a layer-contiguous pipeline.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.balancers.base import BalanceResult, LoadBalancer
@@ -111,12 +113,15 @@ class PartitionBalancer(LoadBalancer):
         plan: PipelinePlan,
         weights: np.ndarray,
         memory_per_layer: np.ndarray | None = None,
-        memory_capacity: float | None = None,
+        memory_capacity: "float | Sequence[float] | None" = None,
     ) -> BalanceResult:
         w = self._validate(plan, weights)
         before = plan.stage_loads(w)
+        # the binary-search probe reasons about one scalar bound, so a
+        # per-stage capacity vector conservatively collapses to its min
         new_plan = partition_balanced(
-            w, plan.num_stages, memory_per_layer, memory_capacity
+            w, plan.num_stages, memory_per_layer,
+            self.scalar_capacity(memory_capacity),
         )
         after = new_plan.stage_loads(w)
         # never return a worse plan than the current one

@@ -34,6 +34,7 @@ from repro.core.balancers import (
 from repro.core.profiler import PipelineProfiler, ProfileReport
 from repro.core.repack import repack_plan, RepackResult
 from repro.model.cost import LayerState, ModelCost
+from repro.model.memory import StageMemoryModel
 from repro.pipeline.migration import diff_plans
 from repro.pipeline.plan import PipelinePlan
 from repro.utils.timers import TimerSet
@@ -132,6 +133,9 @@ class DynMoDecision:
     overhead_s: float = 0.0
     layers_moved: int = 0
     report: ProfileReport | None = None
+    #: the balancer's plan was rejected because a stage would not fit
+    #: its destination ranks' memory (memory-model mode only)
+    oom_rejected: bool = False
 
 
 class DynMoController:
@@ -143,6 +147,7 @@ class DynMoController:
         profiler: PipelineProfiler | None = None,
         balancer_override: LoadBalancer | None = None,
         placement: Placement | None = None,
+        memory_model: StageMemoryModel | None = None,
     ) -> None:
         self.cost = cost
         self.comm = comm
@@ -150,13 +155,42 @@ class DynMoController:
         # current stage→rank map; shrinks in place when a re-pack
         # releases workers so later migrations price the real links
         self.placement = placement
+        # when set, capacities become per-stage (each placed rank's own
+        # device memory) and plans that would OOM a destination are
+        # rejected; when None the legacy scalar capacity path runs
+        # untouched, keeping default results bit-identical
+        self.memory_model = memory_model
         self.profiler = profiler or PipelineProfiler(cost)
         self.balancer_override = balancer_override
         self.timers = TimerSet()
         self.overhead = OverheadBreakdown()
         self.num_rebalances = 0
         self.num_repacks = 0
+        self.num_oom_rejections = 0
         self._initial_per_stage_load: float | None = None
+
+    def _stage_capacities(
+        self, placement: Placement | None, num_stages: int
+    ) -> "np.ndarray | float | None":
+        """Per-stage capacity vector in memory-model mode, else the
+        scalar config capacity (Algorithm 2's ``MAX_MEM``)."""
+        if (
+            self.memory_model is None
+            or placement is None
+            or placement.num_stages != num_stages
+        ):
+            return self.config.memory_capacity_bytes
+        caps = np.array(
+            [
+                float(c)
+                for c in placement.stage_capacities()
+            ]
+        )
+        if self.memory_model.limit_bytes is not None:
+            caps = np.minimum(caps, float(self.memory_model.limit_bytes))
+        if self.config.memory_capacity_bytes is not None:
+            caps = np.minimum(caps, float(self.config.memory_capacity_bytes))
+        return caps
 
     def _make_balancer(self, total_load: float) -> LoadBalancer:
         if self.balancer_override is not None:
@@ -191,8 +225,23 @@ class DynMoController:
         self.overhead.profile_s += profile_cost
 
         weights = report.weights(self.config.weight_by)
-        mem_layers = report.layer_bytes.astype(float)
-        capacity = self.config.memory_capacity_bytes
+        if self.memory_model is not None:
+            # schedule- and precision-aware bytes at the conservative
+            # worst-stage in-flight count (a per-layer vector cannot
+            # express stage-dependent in-flight)
+            mem_layers = np.asarray(
+                self.memory_model.layer_bytes(
+                    states, self.memory_model.worst_in_flight(plan.num_stages)
+                ),
+                dtype=float,
+            )
+            worker_memory = np.asarray(
+                self.memory_model.plan_stage_bytes(plan, states), dtype=float
+            )
+        else:
+            mem_layers = report.layer_bytes.astype(float)
+            worker_memory = report.worker_memory
+        capacity = self._stage_capacities(self.placement, plan.num_stages)
 
         # 2. optional re-pack first (fewer workers), then balance within.
         # The compute gate ensures packing only happens once the model
@@ -216,7 +265,7 @@ class DynMoController:
                 target = max(self.config.repack_target_workers, min_stages_by_compute)
             new_plan, result = repack_plan(
                 work_plan,
-                report.worker_memory,
+                worker_memory,
                 capacity,
                 target,
             )
@@ -231,12 +280,21 @@ class DynMoController:
                 work_plan = new_plan
 
         # 3. balance (wall-clock measured, or analytically modeled for
-        # bit-reproducible results)
+        # bit-reproducible results).  Capacities are re-derived against
+        # the *post-repack* placement: surviving stages keep their own
+        # devices, so a shrink can change which capacity binds where.
+        balance_capacity = (
+            self._stage_capacities(new_placement, work_plan.num_stages)
+            if decision.repacked
+            else capacity
+        )
         balancer = self._make_balancer(float(weights.sum()))
         timer = self.timers("balance")
         timer.start()
         try:
-            result = balancer.rebalance(work_plan, weights, mem_layers, capacity)
+            result = balancer.rebalance(
+                work_plan, weights, mem_layers, balance_capacity
+            )
         finally:
             balance_cost = timer.stop()
         if self.config.balance_cost == "modeled":
@@ -255,6 +313,27 @@ class DynMoController:
             self.num_repacks += 1
 
         new_plan = result.plan
+        if (
+            self.memory_model is not None
+            and new_plan.boundaries != work_plan.boundaries
+        ):
+            # memoised totals against cached capacities (equivalent to
+            # validate_memory's fits verdict, without report objects)
+            totals = self.memory_model.plan_stage_bytes(new_plan, states)
+            caps = self._stage_capacities(new_placement, new_plan.num_stages)
+            if caps is None:
+                fits = True
+            elif np.isscalar(caps):
+                fits = all(t <= float(caps) for t in totals)
+            else:
+                fits = all(t <= c for t, c in zip(totals, caps))
+            if not fits:
+                # the balancer's move would OOM a destination stage:
+                # keep the pre-balance plan (Trainer-level validation
+                # decides whether the status quo itself is viable)
+                new_plan = work_plan
+                decision.oom_rejected = True
+                self.num_oom_rejections += 1
         decision.placement = new_placement
 
         # 4. migration cost — priced between the ranks that actually

@@ -15,10 +15,34 @@ the partition is immediately re-optimised by the active balancer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.pipeline.plan import PipelinePlan
+
+
+def _per_worker_capacity(
+    max_mem: "float | Sequence[float]", num_workers: int
+) -> list[float]:
+    """Broadcast a scalar ``MAX_MEM`` to per-worker capacities.
+
+    The paper writes Algorithm 2 against one scalar ``MAX_MEM``;
+    heterogeneous clusters need the guard per *destination* rank
+    (a merge that fits an 80 GB H100 may not fit a 40 GB A100), so the
+    capacity argument accepts either form.
+    """
+    if np.isscalar(max_mem):
+        caps = [float(max_mem)] * num_workers  # type: ignore[arg-type]
+    else:
+        caps = [float(c) for c in np.asarray(max_mem, dtype=float)]
+        if len(caps) != num_workers:
+            raise ValueError(
+                f"got {len(caps)} capacities for {num_workers} workers"
+            )
+    if any(c <= 0 for c in caps):
+        raise ValueError("max_mem must be positive")
+    return caps
 
 
 @dataclass
@@ -45,17 +69,21 @@ class RepackResult:
 def first_fit_repack(
     mem_usage: list[float],
     num_layers: list[int],
-    max_mem: float,
+    max_mem: "float | Sequence[float]",
     target_num_workers: int = 1,
 ) -> RepackResult:
-    """Algorithm 2. ``mem_usage[i]`` / ``num_layers[i]`` describe worker i."""
+    """Algorithm 2. ``mem_usage[i]`` / ``num_layers[i]`` describe worker i.
+
+    ``max_mem`` is either the paper's scalar ``MAX_MEM`` or one
+    capacity per worker; a merge is admitted only when the combined
+    memory fits the *destination* worker's capacity.
+    """
     if len(mem_usage) != len(num_layers):
         raise ValueError("mem_usage and num_layers must have equal length")
-    if max_mem <= 0:
-        raise ValueError("max_mem must be positive")
     if target_num_workers < 1:
         raise ValueError("target_num_workers must be >= 1")
     num_ranks = len(mem_usage)
+    caps = _per_worker_capacity(max_mem, num_ranks)
     active = [1] * num_ranks
     mem = list(map(float, mem_usage))
     layers = list(num_layers)
@@ -65,7 +93,7 @@ def first_fit_repack(
         for dst in range(src + 1, num_ranks):
             if active[src] == 0 or active[dst] == 0:
                 continue
-            if mem[src] + mem[dst] < max_mem and sum(active) > target_num_workers:
+            if mem[src] + mem[dst] < caps[dst] and sum(active) > target_num_workers:
                 active[src] = 0
                 for lyr_idx in range(layers[src]):
                     transfers.append((src, dst, lyr_idx))
@@ -79,14 +107,15 @@ def first_fit_repack(
 def repack_plan(
     plan: PipelinePlan,
     worker_memory: np.ndarray,
-    max_mem: float,
+    max_mem: "float | Sequence[float]",
     target_num_workers: int = 1,
 ) -> tuple[PipelinePlan, RepackResult]:
     """Apply Algorithm 2 to a pipeline plan.
 
     Returns (new contiguous plan over the surviving stage count, the
     raw repack result).  If no consolidation is possible the original
-    plan is returned unchanged.
+    plan is returned unchanged.  ``max_mem`` may be one capacity per
+    stage (heterogeneous clusters) or the paper's scalar ``MAX_MEM``.
     """
     mem = list(np.asarray(worker_memory, dtype=float))
     if len(mem) != plan.num_stages:

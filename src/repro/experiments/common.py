@@ -35,6 +35,7 @@ from repro.model.config import (
     mixtral_8x7b_like,
 )
 from repro.model.cost import ModelCost, build_layer_specs
+from repro.model.memory import StageMemoryModel
 from repro.pipeline.plan import PipelinePlan
 from repro.training.config import TrainingConfig
 from repro.training.trainer import Trainer, TrainingResult
@@ -80,12 +81,17 @@ def build_scenario(
     paper_scale: bool = False,
     seed: int = 0,
     cluster: str | None = None,
+    precision: str = "mixed",
+    recompute: bool = False,
 ) -> ScenarioSetup:
     """Construct a scenario with proportionally scaled dynamism.
 
     ``cluster`` overrides the auto-sized homogeneous testbed with a
     :func:`~repro.cluster.topology.parse_cluster` spec string (e.g.
-    ``"2x8+2x4"`` for a mixed-node cluster).
+    ``"2x8+2x4"`` for a mixed-node cluster).  ``precision`` and
+    ``recompute`` set the model's memory-accounting regime; neither
+    affects simulated time (recompute's extra backward FLOPs *do* —
+    that is an explicit modelling choice carried by ``ModelCost``).
     """
     if name not in SCENARIOS:
         raise ValueError(f"unknown scenario {name!r}; choose from {SCENARIOS}")
@@ -131,7 +137,11 @@ def build_scenario(
         cfg = GPT_BY_LAYERS.get(num_layers, gpt_24)()
 
     specs = build_layer_specs(cfg)
-    cost = ModelCost(specs)
+    cost = ModelCost(
+        specs,
+        precision=precision,
+        activation_recompute=True if recompute else None,
+    )
     if cluster:
         topo = parse_cluster(cluster)
         if topo.num_gpus < pp_stages * dp_ways:
@@ -196,6 +206,33 @@ def build_scenario(
     )
 
 
+def parse_memory_limit(limit: "str | float | None") -> tuple[bool, float | None]:
+    """Interpret the ``--memory-limit`` knob → (enforce, limit_bytes).
+
+    ``None``/``""`` disables enforcement entirely (the bit-identical
+    legacy path); ``"auto"`` enforces each placed rank's own device
+    capacity with no extra cap; anything else is a byte count (``40e9``,
+    ``"32212254720"``) applied per rank on top of device capacities.
+    """
+    if limit is None or limit == "":
+        return False, None
+    if isinstance(limit, str):
+        if limit.strip().lower() == "auto":
+            return True, None
+        try:
+            value = float(limit)
+        except ValueError:
+            raise ValueError(
+                f"bad memory limit {limit!r}; expected 'auto' or a byte "
+                f"count like '40e9'"
+            ) from None
+    else:
+        value = float(limit)
+    if value <= 0:
+        raise ValueError(f"memory limit must be positive, got {value}")
+    return True, value
+
+
 def make_trainer(
     setup: ScenarioSetup,
     mode: str,
@@ -211,12 +248,22 @@ def make_trainer(
     balance_cost: str = "measured",
     placement: str | None = "packed",
     cluster_events: ClusterEventTrace | None = None,
+    memory_limit: "str | float | None" = None,
+    oom_policy: str = "raise",
 ) -> Trainer:
     """Build the Trainer for one configuration without running it.
 
     The batched sweep executor uses this to collect whole bins of
     compatible runs and drive them in lockstep;
     :func:`run_training` is the build-then-run composition.
+
+    ``memory_limit`` (see :func:`parse_memory_limit`) turns on the
+    per-stage memory model: placements are validated against placed-rank
+    capacities, balancer/repack moves that would OOM a destination are
+    rejected, and an infeasible placement raises
+    :class:`~repro.cluster.memory.PlacementOOMError` (or re-splits,
+    ``oom_policy="resplit"``).  Left unset, nothing about the legacy
+    path changes.
 
     mode ∈ {"megatron", "deepspeed", "dynmo-partition", "dynmo-diffusion",
             "tutel", "egeria", "dense-baseline"}.
@@ -250,9 +297,33 @@ def make_trainer(
         else:
             initial_plan = megatron_uniform_plan(setup.specs, setup.pp_stages)
 
+    mem_enforced, limit_bytes = parse_memory_limit(memory_limit)
+    memory_model = None
+    if mem_enforced:
+        memory_model = StageMemoryModel(
+            setup.cost,
+            schedule=schedule,
+            num_micro=cfg.micro_batches,
+            limit_bytes=limit_bytes,
+        )
+
     controller = None
     if mode.startswith("dynmo"):
         balancer = "partition" if mode.endswith("partition") else "diffusion"
+        if not mem_enforced:
+            # legacy scalar MAX_MEM (cluster-wide minimum)
+            capacity: float | None = float(setup.topology.min_memory_bytes)
+        elif placement:
+            # the controller derives per-stage capacities from each
+            # placed rank's own device (clipped by the model's limit);
+            # a scalar here would needlessly re-impose the cluster min
+            capacity = None
+        else:
+            capacity = (
+                limit_bytes
+                if limit_bytes is not None
+                else float(setup.topology.min_memory_bytes)
+            )
         controller = DynMoController(
             setup.cost,
             setup.comm,
@@ -263,8 +334,9 @@ def make_trainer(
                 repack=repack,
                 repack_target_workers=repack_target,
                 repack_force_target=repack_force,
-                memory_capacity_bytes=float(setup.topology.min_memory_bytes),
+                memory_capacity_bytes=capacity,
             ),
+            memory_model=memory_model,
         )
 
     return Trainer(
@@ -276,6 +348,8 @@ def make_trainer(
         initial_plan=initial_plan,
         job_manager=job_manager,
         cluster_events=cluster_events,
+        memory_model=memory_model,
+        oom_policy=oom_policy,
     )
 
 
@@ -294,6 +368,8 @@ def run_training(
     balance_cost: str = "measured",
     placement: str | None = "packed",
     cluster_events: ClusterEventTrace | None = None,
+    memory_limit: "str | float | None" = None,
+    oom_policy: str = "raise",
 ) -> TrainingResult:
     """Build and run one configuration (see :func:`make_trainer`)."""
     return make_trainer(
@@ -311,4 +387,6 @@ def run_training(
         balance_cost=balance_cost,
         placement=placement,
         cluster_events=cluster_events,
+        memory_limit=memory_limit,
+        oom_policy=oom_policy,
     ).run()

@@ -37,6 +37,16 @@ from repro.sparse.kernels import (
 )
 from repro.utils.validation import check_prob
 
+#: Training-precision regimes for memory accounting.  "mixed" is the
+#: legacy default: bf16/fp16 working weights + fp32 master copy, fp32
+#: gradients and optimizer states, half-precision activations.  "full"
+#: trains in fp32 throughout: 4-byte weights with *no* separate master
+#: copy, fp32 gradients/optimizer, 4-byte-per-element activations.
+#: Precision is a *memory* knob only — compute time is calibrated via
+#: ``peak_flops``/``efficiency`` and never depends on it, so default
+#: and full-precision runs are bit-identical in simulated time.
+PRECISIONS = ("mixed", "full")
+
 
 @dataclass(frozen=True)
 class LayerSpec:
@@ -178,13 +188,27 @@ class ModelCost:
         dtype_bytes: int = 2,
         master_weight_bytes: int = 4,
         activation_checkpointing: bool = False,
+        precision: str = "mixed",
+        activation_recompute: bool | None = None,
     ) -> None:
         """``activation_checkpointing`` trades memory for compute the
         Megatron way: activations are not kept across the pipeline
         (only one micro-batch's worth per layer), and backward first
-        recomputes the forward (backward time += forward time)."""
+        recomputes the forward (backward time += forward time).
+        ``activation_recompute`` is the sweep-facing alias for the same
+        knob (it wins when both are given).  ``precision`` selects the
+        byte accounting regime (:data:`PRECISIONS`) consumed by
+        :class:`~repro.model.memory.StageMemoryModel`; the byte methods
+        on this class implement the legacy "mixed" accounting and are
+        unaffected, as is all timing."""
         if not specs:
             raise ValueError("specs must be non-empty")
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; choose from {PRECISIONS}"
+            )
+        if activation_recompute is not None:
+            activation_checkpointing = bool(activation_recompute)
         self.specs = specs
         self.peak_flops = peak_flops
         self.efficiency = efficiency
@@ -192,6 +216,12 @@ class ModelCost:
         self.dtype_bytes = dtype_bytes
         self.master_bytes = master_weight_bytes
         self.activation_checkpointing = activation_checkpointing
+        self.precision = precision
+
+    @property
+    def activation_recompute(self) -> bool:
+        """Alias of ``activation_checkpointing`` (the sweep-axis name)."""
+        return self.activation_checkpointing
 
     # -- time ------------------------------------------------------------
     def _matmul_time(self, flops: float, sparsity: float) -> float:

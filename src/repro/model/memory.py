@@ -1,0 +1,310 @@
+"""The authoritative per-stage memory model (schedule + precision aware).
+
+Everything that makes or validates a placement decision — initial
+placement, balancer moves, Algorithm-2 re-packing, event-driven
+shrink/regrow — prices resident memory through one model instead of
+ad-hoc scalars.  Per-stage resident bytes decompose as
+
+    params (working dtype, CSR when pruned)
+  + master weights (fp32 copy; mixed precision only)
+  + gradients + optimizer state (fp32; dropped for frozen layers)
+  + activations x in-flight micro-batches
+
+where the in-flight count is a property of the *schedule*: GPipe keeps
+every micro-batch's activations alive (M per stage), while 1F1B and
+zero-bubble drain as they go, holding at most ``num_stages - stage``
+(the warmup depth of that stage).  Activation recomputation drops the
+held activations to one micro-batch per stage; its recompute FLOPs are
+already folded into stage times by
+:class:`~repro.model.cost.ModelCost` (``backward += forward``).
+
+Precision regimes (per ``estimates.py``-style accounting):
+
+========== ================== ======== ========== =============
+term        mixed              full
+========== ================== ======== ========== =============
+weights     2 B (+4 B master)           4 B (no master copy)
+gradients   4 B/active param            4 B/active param
+optimizer   4 B x states/param          4 B x states/param
+activations 2 B/element                 4 B/element
+========== ================== ======== ========== =============
+
+"mixed" reproduces :class:`~repro.model.cost.ModelCost`'s legacy byte
+methods exactly; neither regime affects timing, so memory-knob-default
+runs stay bit-identical to pre-model results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.model.cost import PRECISIONS
+
+SCHEDULES = ("gpipe", "1f1b", "zb")
+
+
+@dataclass(frozen=True)
+class StageMemoryReport:
+    """Resident-byte accounting for one placed pipeline stage."""
+
+    stage: int
+    ranks: tuple[int, ...]  # dp_group of the stage; () when unplaced
+    capacity_bytes: float  # min device memory over ranks (and any limit)
+    param_bytes: int  # working weights (CSR overhead when pruned)
+    master_bytes: int  # fp32 master copy (mixed precision only)
+    grad_bytes: int
+    optimizer_bytes: int
+    activation_bytes: int
+    in_flight: int  # micro-batches whose activations are held
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.param_bytes
+            + self.master_bytes
+            + self.grad_bytes
+            + self.optimizer_bytes
+            + self.activation_bytes
+        )
+
+    @property
+    def headroom_bytes(self) -> float:
+        return self.capacity_bytes - self.total_bytes
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.capacity_bytes
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "ranks": list(self.ranks),
+            "capacity_bytes": float(self.capacity_bytes),
+            "param_bytes": int(self.param_bytes),
+            "master_bytes": int(self.master_bytes),
+            "grad_bytes": int(self.grad_bytes),
+            "optimizer_bytes": int(self.optimizer_bytes),
+            "activation_bytes": int(self.activation_bytes),
+            "in_flight": int(self.in_flight),
+            "total_bytes": int(self.total_bytes),
+            "fits": bool(self.fits),
+        }
+
+
+class StageMemoryModel:
+    """Prices per-stage resident memory for a (cost, schedule) pair.
+
+    ``precision`` and ``activation_recompute`` default to the bound
+    :class:`~repro.model.cost.ModelCost`'s own knobs; ``limit_bytes``
+    is an optional per-rank cap applied *on top of* device capacities
+    (the ``--memory-limit`` sweep axis).
+    """
+
+    def __init__(
+        self,
+        cost: Any,
+        schedule: str = "zb",
+        num_micro: int = 32,
+        precision: str | None = None,
+        activation_recompute: bool | None = None,
+        limit_bytes: float | None = None,
+    ) -> None:
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
+            )
+        if num_micro < 1:
+            raise ValueError("num_micro must be >= 1")
+        if precision is None:
+            precision = str(getattr(cost, "precision", "mixed"))
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; choose from {PRECISIONS}"
+            )
+        if activation_recompute is None:
+            activation_recompute = bool(
+                getattr(cost, "activation_checkpointing", False)
+            )
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive")
+        self.cost = cost
+        self.schedule = schedule
+        self.num_micro = int(num_micro)
+        self.precision = precision
+        self.activation_recompute = bool(activation_recompute)
+        self.limit_bytes = limit_bytes
+        # accounting depends only on (sparsity, frozen, token_fraction)
+        # per layer, which change rarely — memoising keeps validation
+        # off the training hot path
+        self._memo: dict[
+            tuple[int, float, bool, float, int],
+            tuple[int, int, int, int, int],
+        ] = {}
+        self._total_memo: dict[tuple[int, float, bool, float, int], int] = {}
+
+    # -- schedule-aware in-flight counts ---------------------------------
+    def in_flight(self, stage: int, num_stages: int) -> int:
+        """Micro-batches whose activations stage ``stage`` holds at peak.
+
+        GPipe runs all forwards before any backward, so every stage
+        holds all M micro-batches; 1F1B/zero-bubble interleave, so a
+        stage holds at most its warmup depth ``num_stages - stage``.
+        Recomputation retains only the boundary activation.
+        """
+        if not 0 <= stage < num_stages:
+            raise ValueError(f"stage {stage} out of range for {num_stages} stages")
+        if self.activation_recompute:
+            return 1
+        if self.schedule == "gpipe":
+            return self.num_micro
+        return max(1, min(self.num_micro, num_stages - stage))
+
+    def worst_in_flight(self, num_stages: int) -> int:
+        """The deepest stage's in-flight count (stage 0)."""
+        return self.in_flight(0, max(1, num_stages))
+
+    # -- per-layer accounting --------------------------------------------
+    def layer_components(
+        self, spec: Any, state: Any, in_flight: int
+    ) -> tuple[int, int, int, int, int]:
+        """(weight, master, grad, optimizer, activation) bytes for one
+        layer at the given in-flight micro-batch count.
+
+        The "mixed" branch delegates to the legacy ``ModelCost`` byte
+        methods so its totals match them integer-for-integer.
+        """
+        cost = self.cost
+        active = spec.param_count * (1.0 - state.sparsity)
+        if self.precision == "mixed":
+            weight_and_master = int(cost.param_bytes(spec, state))
+            master = int(active * cost.master_bytes)
+            weight = weight_and_master - master
+            grad = int(cost.grad_bytes(spec, state))
+            opt = int(cost.optimizer_bytes(spec, state))
+            act_scale = 1.0
+        else:  # full: fp32 weights, no master copy, fp32 activations
+            if state.sparsity > 0:
+                weight = int(active * (4 + 4))  # CSR: fp32 values + 4B index
+            else:
+                weight = int(spec.param_count * 4)
+            master = 0
+            grad = 0 if state.frozen else int(active * 4)
+            opt = 0 if state.frozen else int(active * 4 * cost.opt_states)
+            act_scale = 4.0 / float(cost.dtype_bytes)
+        if self.activation_recompute:
+            in_flight = 1  # only the boundary activation is retained
+        act = int(
+            spec.activation_bytes
+            * state.token_fraction
+            * max(1, in_flight)
+            * act_scale
+        )
+        return weight, master, grad, opt, act
+
+    def _cached_components(
+        self, li: int, spec: Any, state: Any, in_flight: int
+    ) -> tuple[int, int, int, int, int]:
+        key = (
+            li,
+            float(state.sparsity),
+            bool(state.frozen),
+            float(state.token_fraction),
+            int(in_flight),
+        )
+        hit = self._memo.get(key)
+        if hit is None:
+            hit = self._memo[key] = self.layer_components(
+                spec, state, in_flight
+            )
+        return hit
+
+    def _cached_total(
+        self, li: int, spec: Any, state: Any, in_flight: int
+    ) -> int:
+        key = (
+            li,
+            float(state.sparsity),
+            bool(state.frozen),
+            float(state.token_fraction),
+            int(in_flight),
+        )
+        hit = self._total_memo.get(key)
+        if hit is None:
+            hit = self._total_memo[key] = sum(
+                self._cached_components(li, spec, state, in_flight)
+            )
+        return hit
+
+    def layer_bytes(
+        self, states: Sequence[Any], in_flight: int
+    ) -> list[int]:
+        """Per-layer resident bytes at a fixed in-flight count.
+
+        This is the vector balancers consume: per-layer memory cannot
+        express a stage-dependent in-flight count, so callers pass the
+        conservative :meth:`worst_in_flight`.
+        """
+        specs = self.cost.specs
+        if len(states) != len(specs):
+            raise ValueError(
+                f"got {len(states)} states for {len(specs)} layer specs"
+            )
+        return [
+            self._cached_total(li, sp, st, in_flight)
+            for li, (sp, st) in enumerate(zip(specs, states))
+        ]
+
+    # -- per-stage accounting --------------------------------------------
+    def stage_report(
+        self,
+        plan: Any,
+        states: Sequence[Any],
+        stage: int,
+        capacity_bytes: float,
+        ranks: tuple[int, ...] = (),
+    ) -> StageMemoryReport:
+        infl = self.in_flight(stage, plan.num_stages)
+        specs = self.cost.specs
+        weight = master = grad = opt = act = 0
+        for li in plan.stage_layers(stage):
+            w, m, g, o, a = self._cached_components(
+                li, specs[li], states[li], infl
+            )
+            weight += w
+            master += m
+            grad += g
+            opt += o
+            act += a
+        if self.limit_bytes is not None:
+            capacity_bytes = min(capacity_bytes, self.limit_bytes)
+        return StageMemoryReport(
+            stage=stage,
+            ranks=tuple(int(r) for r in ranks),
+            capacity_bytes=float(capacity_bytes),
+            param_bytes=weight,
+            master_bytes=master,
+            grad_bytes=grad,
+            optimizer_bytes=opt,
+            activation_bytes=act,
+            in_flight=infl,
+        )
+
+    def plan_stage_bytes(self, plan: Any, states: Sequence[Any]) -> list[int]:
+        """Total resident bytes per stage of ``plan`` (no capacities).
+
+        This sits on the controller's per-rebalance hot path, so it
+        sums memoised per-layer totals instead of building full
+        :class:`StageMemoryReport` objects."""
+        specs = self.cost.specs
+        num_stages = plan.num_stages
+        out: list[int] = []
+        for s in range(num_stages):
+            infl = self.in_flight(s, num_stages)
+            out.append(
+                sum(
+                    self._cached_total(li, specs[li], states[li], infl)
+                    for li in plan.stage_layers(s)
+                )
+            )
+        return out

@@ -15,8 +15,9 @@ mislabelled corrupt.
 
 Lookups additionally verify the stored spec matches the query spec
 field-for-field (hash collisions and schema drift both surface as a
-miss), and only ``ok`` records are cached so failures and timeouts
-are always retried.  Writes go through a per-write temp file (PID +
+miss).  Only *deterministic* outcomes are cached — ``ok`` results and
+``oom`` rejections (a pure function of the spec under the memory
+model) — so failures and timeouts are always retried.  Writes go through a per-write temp file (PID +
 thread id + counter, so concurrent writers in one process never
 collide), are fsync'd, and land via :func:`os.replace`; a writer that
 dies mid-write leaves at worst a ``*.tmp.*`` file that
@@ -47,6 +48,11 @@ CORRUPT_SUFFIX = ".corrupt"
 #: distinguishes concurrent writers within one process (PIDs already
 #: distinguish across processes)
 _TMP_COUNTER = itertools.count()
+
+#: statuses the cache stores and serves: deterministic outcomes only.
+#: ``error``/``timeout``/``crashed`` depend on the host (bugs, load,
+#: signals) and must always be retried.
+CACHEABLE_STATUSES = frozenset({"ok", "oom"})
 
 
 def _checksum(record_payload: dict[str, Any]) -> str:
@@ -154,13 +160,13 @@ class ResultCache:
             return None
         if record is None or record.spec.to_dict() != spec.to_dict():
             return None
-        if not record.ok:
+        if record.status not in CACHEABLE_STATUSES:
             return None
         record.cached = True
         return record
 
     def put(self, record: RunRecord) -> None:
-        if not record.ok:
+        if record.status not in CACHEABLE_STATUSES:
             return
         path = self._path(record.spec_hash)
         payload = record.to_dict()

@@ -1,9 +1,12 @@
 """Run outcomes: the :class:`RunRecord` envelope and metric extraction.
 
 A record carries the spec that produced it, its content hash, a status
-(``ok`` / ``error`` / ``timeout`` / ``crashed``), wall-clock duration,
-and — for successful runs — a plain-dict snapshot of the
-:class:`~repro.training.trainer.TrainingResult`.  Metrics are pure
+(``ok`` / ``oom`` / ``error`` / ``timeout`` / ``crashed``), wall-clock
+duration, and — for successful runs — a plain-dict snapshot of the
+:class:`~repro.training.trainer.TrainingResult`.  ``oom`` is a
+*deterministic* outcome (the memory model priced a placement over
+capacity), unlike ``error``/``timeout``/``crashed``: it is cacheable
+and its metrics carry the failing per-stage reports.  Metrics are pure
 data (floats/ints/lists), so records serialise losslessly to JSON and
 compare exactly across serial and parallel execution.
 """
@@ -26,7 +29,7 @@ class SweepError(RuntimeError):
 class RunRecord:
     spec: RunSpec
     spec_hash: str
-    status: str  # "ok" | "error" | "timeout" | "crashed"
+    status: str  # "ok" | "oom" | "error" | "timeout" | "crashed"
     duration_s: float = 0.0
     cached: bool = False
     error: str | None = None
@@ -101,4 +104,6 @@ def result_metrics(res: Any) -> dict[str, Any]:
         "bubble_history": [[int(k), float(b)] for k, b in res.bubble_history],
         "makespan_history": [[int(k), float(m)] for k, m in res.makespan_history],
         "stage_count_history": [[int(k), int(s)] for k, s in res.stage_count_history],
+        "peak_stage_bytes": float(getattr(res, "peak_stage_bytes", 0.0)),
+        "oom_events": int(getattr(res, "oom_events", 0)),
     }

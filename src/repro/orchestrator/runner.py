@@ -73,8 +73,9 @@ from dataclasses import dataclass
 from types import FrameType
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.cluster.memory import PlacementOOMError
 from repro.orchestrator import faults
-from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.cache import CACHEABLE_STATUSES, ResultCache
 from repro.orchestrator.journal import SweepJournal
 from repro.orchestrator.results import RunRecord, result_metrics
 from repro.orchestrator.retry import RetryPolicy
@@ -272,6 +273,8 @@ def _spec_scenario_and_trainer(spec: RunSpec) -> tuple[Any, Any]:
         paper_scale=spec.paper_scale,
         seed=spec.seed,
         cluster=spec.cluster or None,
+        precision=spec.precision,
+        recompute=spec.recompute,
     )
     scheme = StaticScheme(setup.specs) if spec.static_scheme else None
     job_manager = (
@@ -292,6 +295,7 @@ def _spec_scenario_and_trainer(spec: RunSpec) -> tuple[Any, Any]:
         balance_cost=spec.balance_cost,
         placement=spec.placement,
         cluster_events=events,
+        memory_limit=spec.memory_limit or None,
     )
     return setup, trainer
 
@@ -330,6 +334,29 @@ def _error_record(spec: RunSpec, exc: BaseException, duration: float = 0.0) -> R
         duration_s=duration,
         error=f"{type(exc).__name__}: {exc}\n{trace}",
         error_type=type(exc).__name__,
+    )
+
+
+def _oom_record(
+    spec: RunSpec, exc: PlacementOOMError, duration: float = 0.0
+) -> RunRecord:
+    """A deterministic memory rejection: cacheable, with full reports.
+
+    Unlike ``error`` records, the per-stage accounting that caused the
+    rejection lands in ``metrics`` — the fig-maxmodel experiment and
+    ``--memory-limit`` sweeps read it to say *why* a cell is OOM.
+    """
+    return RunRecord(
+        spec=spec,
+        spec_hash=spec.spec_hash,
+        status="oom",
+        duration_s=duration,
+        error=str(exc),
+        error_type="PlacementOOMError",
+        metrics={
+            "oom_context": str(exc.context),
+            "stage_reports": [r.as_dict() for r in exc.reports],
+        },
     )
 
 
@@ -387,6 +414,8 @@ def execute_spec(spec: RunSpec, timeout_s: float | None = None) -> RunRecord:
         )
     except SweepTimeout as exc:
         return _timeout_record(spec, str(exc), time.perf_counter() - start)
+    except PlacementOOMError as exc:
+        return _oom_record(spec, exc, time.perf_counter() - start)
     except Exception as exc:
         return _error_record(spec, exc, time.perf_counter() - start)
 
@@ -650,7 +679,9 @@ class SweepRunner:
             remaining: list[int] = []
             for i in pending:
                 prev = self.journal.prior.get(specs[i].spec_hash)
-                if prev is not None and prev.status == "ok":
+                if prev is not None and prev.status in CACHEABLE_STATUSES:
+                    # ok and oom are both deterministic verdicts:
+                    # an infeasible placement is infeasible every time
                     finish(i, dataclasses.replace(prev), persist=False)
                 elif prev is not None and prev.status == "crashed":
                     quarantine_spec(
@@ -972,6 +1003,8 @@ class SweepRunner:
             for (i, spec, setup, _), outcome in zip(entries, outcomes):
                 if isinstance(outcome, LockstepTimeout):
                     land(i, _timeout_record(spec, str(outcome), share))
+                elif isinstance(outcome, PlacementOOMError):
+                    land(i, _oom_record(spec, outcome, share))
                 elif isinstance(outcome, BaseException):
                     land(i, _error_record(spec, outcome, share))
                 else:

@@ -23,7 +23,7 @@ from typing import Any
 
 import repro
 
-SPEC_SCHEMA_VERSION = 3
+SPEC_SCHEMA_VERSION = 4  # v4: precision / recompute / memory_limit axes
 
 #: Every contender `run_training` understands.
 MODES = (
@@ -72,6 +72,14 @@ class RunSpec:
     cluster_events: str = ""
     # when set, attach an ElasticJobManager with this many total GPUs
     elastic_total_gpus: int | None = None
+    # memory-model knobs: training precision regime ("mixed" | "full";
+    # memory accounting only — simulated time never depends on it),
+    # activation recomputation, and the per-rank memory limit ("" = no
+    # enforcement, the bit-identical legacy path; "auto" = each placed
+    # rank's own device capacity; else a byte count like "40e9")
+    precision: str = "mixed"
+    recompute: bool = False
+    memory_limit: str = ""
     paper_scale: bool = False
     tag: str = ""
 
@@ -118,6 +126,12 @@ class RunSpec:
                 self.cluster_events.encode(), digest_size=4
             ).hexdigest()
             bits.append(f"events-{digest}")
+        if self.precision != "mixed":
+            bits.append(self.precision)
+        if self.recompute:
+            bits.append("recompute")
+        if self.memory_limit:
+            bits.append(f"mem-{self.memory_limit}")
         if self.tag:
             bits.append(self.tag)
         return "/".join(bits)

@@ -28,10 +28,13 @@ import numpy as np
 from repro.cluster.collectives import CommCostModel
 from repro.cluster.events import ClusterEventTrace
 from repro.cluster.job_manager import ElasticJobManager
-from repro.cluster.placement import Placement, make_placement
+from repro.cluster.memory import PlacementOOMError
+from repro.cluster.placement import Placement, make_placement, validate_memory
+from repro.core.balancers.partition import partition_balanced
 from repro.core.controller import DynMoController
 from repro.dynamics.base import DynamismScheme, StaticScheme
 from repro.model.cost import LayerState, ModelCost
+from repro.model.memory import StageMemoryModel
 from repro.pipeline.engine import IterationResult, PipelineEngine
 from repro.pipeline.migration import diff_plans
 from repro.pipeline.plan import PipelinePlan
@@ -106,6 +109,13 @@ class _RunState:
     force_rebalance: bool = False
     #: (iteration, kind, ranks) log of applied events
     applied_events: list[tuple[int, str, list[int]]] = field(default_factory=list)
+    # -- memory-model accounting ------------------------------------------
+    #: largest per-stage resident-byte total seen across validations
+    peak_stage_bytes: float = 0.0
+    #: times memory constraints bound behaviour: controller-rejected
+    #: balancer moves plus Trainer-level OOM validations (raised or
+    #: recovered by re-splitting, per policy)
+    oom_events: int = 0
 
 
 @dataclass
@@ -129,6 +139,10 @@ class TrainingResult:
     cluster_events_applied: list[tuple[int, str, list[int]]] = field(
         default_factory=list
     )
+    #: largest per-stage resident-byte total (0.0 without a memory model)
+    peak_stage_bytes: float = 0.0
+    #: times memory constraints bound behaviour during the run
+    oom_events: int = 0
 
     @property
     def tokens_per_s(self) -> float:
@@ -159,12 +173,25 @@ class Trainer:
         trace_recorder=None,
         placement: Placement | None = None,
         cluster_events: ClusterEventTrace | None = None,
+        memory_model: StageMemoryModel | None = None,
+        oom_policy: str = "raise",
     ) -> None:
+        if oom_policy not in ("raise", "resplit"):
+            raise ValueError(
+                f"unknown oom_policy {oom_policy!r}; choose 'raise' or 'resplit'"
+            )
         self.cfg = cfg
         self.cost = cost
         self.scheme = scheme
         self.comm = comm
         self.controller = controller
+        # when set, every placement decision (initial, post-repack,
+        # post-regrow) is priced against its ranks' memory; "raise"
+        # surfaces a PlacementOOMError, "resplit" first tries a
+        # memory-balanced re-partition over the same stages
+        self.memory_model = memory_model
+        self.oom_policy = oom_policy
+        self._last_mem_key: tuple | None = None
         n_layers = len(cost.specs)
         self.plan = initial_plan or PipelinePlan.uniform(n_layers, cfg.pp_stages)
         if placement is None and comm is not None and cfg.placement_strategy:
@@ -177,6 +204,12 @@ class Trainer:
         self.placement = placement
         if controller is not None and controller.placement is None:
             controller.placement = placement
+        if (
+            controller is not None
+            and controller.memory_model is None
+            and memory_model is not None
+        ):
+            controller.memory_model = memory_model
         self.engine = PipelineEngine(
             cost,
             comm,
@@ -245,6 +278,121 @@ class Trainer:
             self._cache.popitem(last=False)
         self._cache[key] = res
 
+    # -- memory validation ---------------------------------------------------
+    def _validate_memory(self, st: _RunState, context: str) -> None:
+        """Price the current plan against its placed ranks' memory.
+
+        Throttled on (plan, placement, states) identity so steady-state
+        iterations pay one tuple comparison, not a re-pricing; OOM either
+        raises :class:`PlacementOOMError` or (policy ``"resplit"``)
+        re-partitions by memory over the same stage count.
+        """
+        if self.memory_model is None:
+            return
+        key = (
+            self.plan.boundaries,
+            self.placement.grid if self.placement is not None else None,
+            self._states_key(),
+        )
+        if key == self._last_mem_key:
+            return
+        # fast path: memoised per-stage totals against cached capacities;
+        # full StageMemoryReports are only built when a stage overflows
+        # (for the error message / resplit decision)
+        aligned = (
+            self.placement is None
+            or self.placement.num_stages == self.plan.num_stages
+        )
+        if aligned:
+            totals = self.memory_model.plan_stage_bytes(
+                self.plan, self.states
+            )
+            caps = self._stage_capacity_floats(len(totals))
+            if all(t <= c for t, c in zip(totals, caps)):
+                # record the peak only for plans that are accepted:
+                # a rejected split never becomes resident memory
+                peak = float(max(totals, default=0))
+                if peak > st.peak_stage_bytes:
+                    st.peak_stage_bytes = peak
+                self._last_mem_key = key
+                return
+        reports = self._memory_reports(self.plan)
+        if not all(r.fits for r in reports):
+            st.oom_events += 1
+            resplit = (
+                self._memory_resplit(st) if self.oom_policy == "resplit" else None
+            )
+            if resplit is None:
+                raise PlacementOOMError(context, reports)
+            peak = max((float(r.total_bytes) for r in resplit), default=0.0)
+            if peak > st.peak_stage_bytes:
+                st.peak_stage_bytes = peak
+            key = (
+                self.plan.boundaries,
+                self.placement.grid if self.placement is not None else None,
+                self._states_key(),
+            )
+        self._last_mem_key = key
+
+    def _stage_capacity_floats(self, num_stages: int) -> "list[float]":
+        """Per-stage capacities exactly as ``validate_memory`` derives
+        them (placed ranks, else cluster minimum, else unbounded;
+        clipped by the model's ``limit_bytes``)."""
+        if self.placement is not None:
+            caps = [float(c) for c in self.placement.stage_capacities()]
+        elif self.comm is not None:
+            caps = [float(self.comm.topology.min_memory_bytes)] * num_stages
+        else:
+            caps = [float("inf")] * num_stages
+        limit = self.memory_model.limit_bytes
+        if limit is not None:
+            caps = [min(c, float(limit)) for c in caps]
+        return caps
+
+    def _memory_reports(self, plan: PipelinePlan) -> list:
+        return validate_memory(
+            self.memory_model,
+            plan,
+            self.states,
+            placement=self.placement,
+            topology=(
+                self.comm.topology
+                if self.placement is None and self.comm is not None
+                else None
+            ),
+        )
+
+    def _memory_resplit(self, st: _RunState) -> "list | None":
+        """Memory-balanced re-partition over the current stage count.
+
+        Balances *memory* (not compute) because the goal is feasibility;
+        the controller's next forced invocation re-optimises compute
+        within the recovered headroom.  Returns the new plan's reports,
+        or None when no contiguous partition fits.
+        """
+        model = self.memory_model
+        n_stages = self.plan.num_stages
+        infl = model.worst_in_flight(n_stages)
+        mem = np.asarray(model.layer_bytes(self.states, infl), dtype=float)
+        if self.placement is not None:
+            cap = float(min(self.placement.stage_capacities()))
+        elif self.comm is not None:
+            cap = float(self.comm.topology.min_memory_bytes)
+        else:
+            cap = float("inf")
+        if model.limit_bytes is not None:
+            cap = min(cap, float(model.limit_bytes))
+        try:
+            new_plan = partition_balanced(mem, n_stages, mem, cap)
+        except ValueError:
+            return None
+        reports = self._memory_reports(new_plan)
+        if not all(r.fits for r in reports):
+            return None
+        self.plan = new_plan
+        st.force_rebalance = True
+        return reports
+
     def _iteration_result(self) -> IterationResult:
         key = self._cache_key()
         res = self._cache_lookup(key)
@@ -280,6 +428,7 @@ class Trainer:
         # step(); without a version counter the fingerprint memo just
         # recomputes every iteration, as before
         st.advance = getattr(self.scheme, "advance", self.scheme.step)
+        self._validate_memory(st, "initial placement")
         return st
 
     def _pre_iteration(self, st: _RunState, k: int) -> None:
@@ -314,6 +463,11 @@ class Trainer:
             st.overhead += decision.overhead_s
             st.total_time += decision.overhead_s
             st.moved += decision.layers_moved
+            if decision.oom_rejected:
+                st.oom_events += 1
+        # covers controller decisions, event-driven shrink (after_repack)
+        # and regrow (after_regrow), and dynamism state changes alike
+        self._validate_memory(st, f"iteration {k}")
 
     # -- cluster-event handling ----------------------------------------------
     # A trace-driven run reacts to a changing cluster mid-flight:
@@ -509,6 +663,8 @@ class Trainer:
             ),
             released_ranks_history=st.released_history,
             cluster_events_applied=st.applied_events,
+            peak_stage_bytes=st.peak_stage_bytes,
+            oom_events=st.oom_events,
         )
 
     # -- batched fast path ---------------------------------------------------
